@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Figure benches run each experiment exactly once (``once``), print the
+same rows/series the paper's figure plots, and persist the rendering
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference it.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return runner
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a figure rendering and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,30 @@
+"""APPC1/APPC2 — Appendix C: the intermediate change ratios.
+
+C.1: XMark random changes at 3.33% and 6.66%; C.2: the worst case at
+3.33% and 6.66%.  Same shape claims as Figs. 13/14, interpolated.
+"""
+
+from conftest import publish
+
+from repro.experiments import appendix_c1, appendix_c2, render_figure
+
+
+def test_appendix_c1_random_ratios(once, results_dir):
+    results = once(lambda: appendix_c1())
+    for result, name in zip(results, ["appc1-3.33.txt", "appc1-6.66.txt"]):
+        text = render_figure(result)
+        publish(results_dir, name, text)
+        assert result.all_claims_hold(), text
+
+
+def test_appendix_c2_worst_case_ratios(once, results_dir):
+    results = once(lambda: appendix_c2())
+    for result, name in zip(results, ["appc2-3.33.txt", "appc2-6.66.txt"]):
+        text = render_figure(result)
+        publish(results_dir, name, text)
+        assert result.all_claims_hold(), text
+    # Monotone damage: the higher the mutation ratio, the worse the
+    # archive/repo ratio (C.2's two panels vs each other).
+    low = results[0].series[0].overhead_vs_incremental()
+    high = results[1].series[0].overhead_vs_incremental()
+    assert high > low

@@ -1,0 +1,20 @@
+"""FIG7 — Fig. 7: dataset statistics (size, node count N, height h)."""
+
+from conftest import publish
+
+from repro.experiments import figure7_statistics, render_statistics
+
+
+def test_fig07_dataset_statistics(once, results_dir):
+    rows = once(lambda: figure7_statistics())
+    text = render_statistics(rows)
+    publish(results_dir, "fig07.txt", text)
+    by_name = {row.name: row for row in rows}
+    # Shape of the paper's table: Swiss-Prot is the largest dataset by
+    # far; all heights are small constants (5, 6, 12 in the paper).
+    assert by_name["Swiss-Prot"].size_bytes > by_name["OMIM"].size_bytes * 0.5
+    assert by_name["OMIM"].height == 5
+    assert 4 <= by_name["Swiss-Prot"].height <= 7
+    assert 4 <= by_name["XMark"].height <= 13
+    for row in rows:
+        assert row.node_count > 500

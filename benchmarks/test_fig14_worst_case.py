@@ -1,0 +1,32 @@
+"""FIG14 — Fig. 14: the worst case for key-based archiving.
+
+Key values of n% of XMark elements mutate each version: a line diff
+sees a one-line change, the archiver must store a whole near-duplicate
+element.  Shape claims: the raw archive grows much faster than the diff
+repository (its defining failure mode), the diff repository stays near
+one version's size, and xmill(archive) remains competitive until the
+archive is ~1.2x the repository (the paper's crossover observation).
+"""
+
+from conftest import publish
+
+from repro.experiments import figure14_worstcase, render_figure
+
+
+def test_fig14a_worst_case_1_66(once, results_dir):
+    result = once(lambda: figure14_worstcase(1.66))
+    text = render_figure(result)
+    publish(results_dir, "fig14a.txt", text)
+    assert result.all_claims_hold(), text
+
+
+def test_fig14b_worst_case_10(once, results_dir):
+    result = once(lambda: figure14_worstcase(10.0))
+    text = render_figure(result)
+    publish(results_dir, "fig14b.txt", text)
+    assert result.all_claims_hold(), text
+    series = result.series[0]
+    # The defining shape: archive growth dwarfs diff-repo growth.
+    archive_growth = series.archive_bytes[-1] - series.archive_bytes[0]
+    repo_growth = series.incremental_bytes[-1] - series.incremental_bytes[0]
+    assert archive_growth > 5 * repo_growth

@@ -1,0 +1,48 @@
+"""CLAIM-* — the paper's headline claims (Secs. 1, 5.1, 9), re-derived.
+
+* OMIM archive never >1% over the incremental-diff repository;
+* Swiss-Prot archive never >8% over it;
+* xmill(archive) smaller than every compressed competitor;
+* cumulative-diff storage grows quadratically;
+* the OMIM yearly projection: archiving a year of versions costs a
+  small constant factor over the last version, and the compressed
+  archive is a fraction of the last version's size (the paper projects
+  1.12x and 40%).
+"""
+
+from conftest import publish
+
+from repro.experiments import figure12_omim, headline_claims
+
+
+def test_headline_claims(once, results_dir):
+    claims = once(lambda: headline_claims())
+    lines = [
+        f"[{'PASS' if claim.holds else 'FAIL'}] {claim.description}"
+        for claim in claims
+    ]
+    publish(results_dir, "headline_claims.txt", "\n".join(lines))
+    failed = [claim.description for claim in claims if not claim.holds]
+    assert not failed, failed
+
+
+def test_omim_yearly_projection(once, results_dir):
+    """Sec. 1: a year's archive in ~1.12x the last version; compressed
+    archive ~40% of the last version.  Our run is shorter, so the
+    claim is checked directionally: archive/last-version stays a small
+    constant and xmill(archive)/last-version is well under 40%."""
+    result = once(lambda: figure12_omim())
+    series = result.series[0]
+    archive_over_last = series.final("archive_bytes") / series.final("version_bytes")
+    compressed_over_last = series.final("xmill_archive_bytes") / series.final(
+        "version_bytes"
+    )
+    text = (
+        f"archive / last version          = {archive_over_last:.3f} "
+        f"(paper projects 1.12 for a year)\n"
+        f"xmill(archive) / last version   = {compressed_over_last:.3f} "
+        f"(paper projects 0.40)"
+    )
+    publish(results_dir, "omim_projection.txt", text)
+    assert archive_over_last < 1.15
+    assert compressed_over_last < 0.40

@@ -1,0 +1,36 @@
+"""TIME-ANNOT — Sec. 4.1 analysis: Annotate Keys scales near-linearly
+in document size (O(N·h·(Σm + q)) with h, Σm, q small constants)."""
+
+import pytest
+
+from repro.data import OmimGenerator, omim_key_spec
+from repro.keys import annotate_keys
+
+
+@pytest.mark.parametrize("records", [25, 50, 100])
+def test_annotate_keys_scaling(benchmark, records):
+    spec = omim_key_spec()
+    document = OmimGenerator(seed=1, initial_records=records).initial_version()
+    result = benchmark(lambda: annotate_keys(document, spec))
+    assert result.label(result.root) is not None
+
+
+def test_annotate_cost_linear_in_nodes(once):
+    """Direct check of the analysis: quadrupling N scales time ~linearly."""
+    import time
+
+    spec = omim_key_spec()
+
+    def measure():
+        timings = {}
+        for records in (40, 160):
+            document = OmimGenerator(seed=2, initial_records=records).initial_version()
+            start = time.perf_counter()
+            for _ in range(3):
+                annotate_keys(document, spec)
+            timings[records] = time.perf_counter() - start
+        return timings[160] / timings[40]
+
+    ratio = once(measure)
+    # 4x nodes → between ~2x and ~8x time (linear with noise allowance).
+    assert 2.0 < ratio < 8.0, f"scaling ratio {ratio:.2f}"

@@ -1,0 +1,54 @@
+"""TIME-HIST — Sec. 7.2: temporal history, scan vs key index O(l log d)."""
+
+from conftest import publish
+
+from repro.core import Archive
+from repro.data import OmimGenerator, omim_key_spec
+from repro.indexes import KeyIndex
+
+
+def _archive_and_target(records=150):
+    generator = OmimGenerator(seed=8, initial_records=records)
+    versions = generator.generate_versions(3)
+    archive = Archive(omim_key_spec(), None)
+    for version in versions:
+        archive.add_version(version)
+    # Pick a record in the middle of the key order.
+    nums = sorted(
+        record.find("Num").text_content()
+        for record in versions[-1].find_all("Record")
+    )
+    target = f"/ROOT/Record[Num={nums[len(nums) // 2]}]"
+    return archive, target
+
+
+def test_history_via_archive_walk(benchmark):
+    archive, target = _archive_and_target()
+    history = benchmark(lambda: archive.history(target))
+    assert history.existence
+
+
+def test_history_via_key_index(benchmark):
+    archive, target = _archive_and_target()
+    index = KeyIndex(archive)
+    result = benchmark(lambda: index.history(target))
+    assert result[0]
+
+
+def test_comparison_counts_logarithmic(once, results_dir):
+    archive, target = _archive_and_target(records=200)
+    index = KeyIndex(archive)
+
+    def measure():
+        _, comparisons = index.history(target)
+        degree = len(archive.root.children[0].children)
+        return comparisons, degree
+
+    comparisons, degree = once(measure)
+    text = (
+        f"degree d = {degree}, path length l = 2, "
+        f"binary-search comparisons = {comparisons} "
+        f"(naive scan would touch ~{degree} labels)"
+    )
+    publish(results_dir, "history_comparisons.txt", text)
+    assert comparisons < degree / 4

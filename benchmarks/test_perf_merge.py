@@ -1,0 +1,76 @@
+"""TIME-MERGE — Sec. 4.2 analysis: Nested Merge is O(αN log N).
+
+Benchmarks one merge of a new version into an existing archive, plus
+the fingerprint variant of Sec. 4.3 (sorting by digests instead of key
+values), and an ablation of further compaction.
+"""
+
+import pytest
+
+from repro.core import Archive, ArchiveOptions, Fingerprinter
+from repro.data import OmimGenerator, omim_key_spec
+
+
+def _archive_and_next(options=None, records=60):
+    generator = OmimGenerator(seed=4, initial_records=records)
+    versions = generator.generate_versions(4)
+    archive = Archive(omim_key_spec(), options)
+    for version in versions[:-1]:
+        archive.add_version(version)
+    return archive, versions[-1]
+
+
+def test_nested_merge(benchmark):
+    archive, version = _archive_and_next()
+
+    def merge():
+        # Work on a throwaway copy so every round merges the same state.
+        stats = Archive.from_xml_string(
+            merge.text, omim_key_spec()
+        ).add_version(version.copy())
+        return stats
+
+    merge.text = archive.to_xml_string()
+    stats = benchmark(merge)
+    assert stats.nodes_matched > 0
+
+
+def test_nested_merge_with_fingerprints(benchmark):
+    options = ArchiveOptions(fingerprinter=Fingerprinter(bits=64))
+    archive, version = _archive_and_next(options)
+    text = archive.to_xml_string()
+
+    def merge():
+        return Archive.from_xml_string(text, omim_key_spec(), options).add_version(
+            version.copy()
+        )
+
+    stats = benchmark(merge)
+    assert stats.nodes_matched > 0
+
+
+def test_nested_merge_with_compaction(benchmark):
+    options = ArchiveOptions(compaction=True)
+    archive, version = _archive_and_next(options)
+    text = archive.to_xml_string()
+
+    def merge():
+        return Archive.from_xml_string(text, omim_key_spec(), options).add_version(
+            version.copy()
+        )
+
+    stats = benchmark(merge)
+    assert stats.nodes_matched > 0
+
+
+@pytest.mark.parametrize("records", [30, 120])
+def test_merge_scaling(benchmark, records):
+    archive, version = _archive_and_next(records=records)
+    text = archive.to_xml_string()
+
+    def merge():
+        return Archive.from_xml_string(text, omim_key_spec()).add_version(
+            version.copy()
+        )
+
+    benchmark(merge)

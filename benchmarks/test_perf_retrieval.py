@@ -1,0 +1,65 @@
+"""TIME-RETR — Sec. 7.1: version retrieval, plain scan vs timestamp trees.
+
+The probe-count claim: for a sparse early version in a heavily accreted
+archive, the timestamp trees probe far fewer nodes than the scan; for a
+dense recent version (α > k/8) the two are within a constant factor.
+"""
+
+from conftest import publish
+
+from repro.core import Archive
+from repro.data import OmimChangeRates, OmimGenerator, omim_key_spec
+from repro.indexes import TimestampTreeIndex
+
+
+def _accreted_archive():
+    generator = OmimGenerator(
+        seed=6,
+        initial_records=6,
+        rates=OmimChangeRates(
+            delete_fraction=0.0, insert_fraction=0.6, modify_fraction=0.0
+        ),
+    )
+    archive = Archive(omim_key_spec())
+    for version in generator.generate_versions(9):
+        archive.add_version(version)
+    return archive
+
+
+def test_plain_scan_retrieval(benchmark):
+    archive = _accreted_archive()
+    result = benchmark(lambda: archive.retrieve(1))
+    assert result is not None
+
+
+def test_timestamp_tree_retrieval(benchmark):
+    archive = _accreted_archive()
+    index = TimestampTreeIndex(archive)
+    result, _ = benchmark(lambda: index.retrieve(1))
+    assert result is not None
+
+
+def test_probe_counts(once, results_dir):
+    archive = _accreted_archive()
+    index = TimestampTreeIndex(archive)
+
+    def measure():
+        rows = []
+        for version in (1, archive.last_version):
+            _, probes = index.retrieve(version)
+            rows.append((version, probes.total(), index.naive_probe_count(version)))
+        return rows
+
+    rows = once(measure)
+    text = "\n".join(
+        f"version {version}: timestamp-tree probes {tree}, naive scan {naive}"
+        for version, tree, naive in rows
+    )
+    publish(results_dir, "retrieval_probes.txt", text)
+    sparse_version, sparse_tree, sparse_naive = rows[0]
+    dense_version, dense_tree, dense_naive = rows[1]
+    # Sparse early version: trees must save probes.
+    assert sparse_tree < sparse_naive
+    # Dense latest version: at worst a small constant factor over naive
+    # (the paper's 2k fallback bound).
+    assert dense_tree <= 3 * dense_naive

@@ -1,0 +1,66 @@
+"""Archiving beyond main memory (the Swiss-Prot scenario, Sec. 6).
+
+Run with::
+
+    python examples/external_memory.py
+
+Swiss-Prot versions run to hundreds of megabytes; the paper's basic
+archiver is in-memory and "quickly ran out of memory on a machine with
+256MB".  This example drives the external-memory archiver: the archive
+lives on disk as a key-sorted event stream, incoming versions are
+sorted through bounded-size runs, and the merge is a single pass over
+both streams.  A deliberately tiny memory budget shows the machinery
+working; the result is verified byte-identical to the in-memory
+archiver's.
+"""
+
+import tempfile
+
+from repro.core import Archive
+from repro.data import SwissProtGenerator, swissprot_key_spec
+from repro.storage import ExternalArchiver
+
+
+def main() -> None:
+    spec = swissprot_key_spec()
+    generator = SwissProtGenerator(seed=7, initial_records=20)
+    versions = generator.generate_versions(5)
+
+    with tempfile.TemporaryDirectory() as directory:
+        # A budget of 40 nodes per sorted run — absurdly small, to force
+        # many runs and several merge phases (a real deployment would
+        # use millions).
+        external = ExternalArchiver(directory, spec, memory_budget=40, fan_in=4)
+        in_memory = Archive(spec)
+
+        print("=== merging versions through the external archiver ===")
+        for number, version in enumerate(versions, start=1):
+            stats = external.add_version(version.copy())
+            in_memory.add_version(version)
+            print(
+                f"version {number}: matched {stats.nodes_matched}, "
+                f"inserted {stats.nodes_inserted}; archive stream now "
+                f"{external.archive_bytes()} bytes on disk"
+            )
+
+        print("\n=== I/O accounting (Sec. 6 analysis) ===")
+        print(f"pages read:    {external.stats.pages_read()}")
+        print(f"pages written: {external.stats.pages_written()}")
+        print(f"page size:     {external.stats.page_size} bytes")
+
+        print("\n=== verification ===")
+        identical = (
+            external.to_archive().to_xml_string() == in_memory.to_xml_string()
+        )
+        print(f"external archive identical to in-memory archive: {identical}")
+        assert identical
+
+        oldest = external.retrieve(1)
+        print(
+            f"retrieved version 1 from the stream: "
+            f"{len(oldest.find_all('Record'))} protein records"
+        )
+
+
+if __name__ == "__main__":
+    main()

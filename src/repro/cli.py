@@ -1,0 +1,212 @@
+"""``xarch`` — a command-line front end to the archiver.
+
+A downstream curator's workflow over plain files::
+
+    xarch init  archive.xml --keys keys.txt        # empty archive
+    xarch add   archive.xml version1.xml           # merge a version
+    xarch get   archive.xml 3 -o v3.xml            # retrieve version 3
+    xarch log   archive.xml '/db/dept[name=finance]/emp[fn=John, ln=Doe]'
+    xarch diff  archive.xml 2 5                    # semantic change report
+    xarch stats archive.xml                        # size/shape counters
+    xarch mine  v1.xml v2.xml -o keys.txt          # infer a key spec
+
+The archive file is the ``<T>``-tagged XML of the paper's Fig. 5; the
+keys file uses the textual syntax of the paper's Appendix B.  The key
+spec is stored alongside the archive (``<archive>.keys``) by ``init``
+so later commands need no ``--keys`` flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .core.archive import Archive, ArchiveOptions
+from .core.tempquery import archive_diff
+from .keys.keyparser import parse_key_spec
+from .keys.mining import mine_keys
+from .keys.spec import KeySpec
+from .xmltree.parser import parse_file
+from .xmltree.serializer import to_pretty_string
+
+
+def _keys_path(archive_path: str) -> str:
+    return archive_path + ".keys"
+
+
+def _load_spec(archive_path: str, keys_file: str | None) -> KeySpec:
+    path = keys_file or _keys_path(archive_path)
+    if not os.path.exists(path):
+        raise SystemExit(
+            f"xarch: key specification {path!r} not found "
+            f"(run 'xarch init' or pass --keys)"
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_key_spec(handle.read())
+
+
+def _load_archive(args: argparse.Namespace) -> tuple[Archive, KeySpec]:
+    spec = _load_spec(args.archive, getattr(args, "keys", None))
+    options = ArchiveOptions(compaction=getattr(args, "compaction", False))
+    with open(args.archive, "r", encoding="utf-8") as handle:
+        return Archive.from_xml_string(handle.read(), spec, options), spec
+
+
+def _store_archive(args: argparse.Namespace, archive: Archive) -> None:
+    with open(args.archive, "w", encoding="utf-8") as handle:
+        handle.write(archive.to_xml_string())
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    with open(args.keys, "r", encoding="utf-8") as handle:
+        keys_text = handle.read()
+    parse_key_spec(keys_text)  # validate before writing anything
+    if os.path.exists(args.archive) and not args.force:
+        raise SystemExit(f"xarch: {args.archive!r} exists (use --force)")
+    archive = Archive(parse_key_spec(keys_text))
+    _store_archive(args, archive)
+    with open(_keys_path(args.archive), "w", encoding="utf-8") as handle:
+        handle.write(keys_text)
+    print(f"initialized empty archive {args.archive}")
+    return 0
+
+
+def cmd_add(args: argparse.Namespace) -> int:
+    archive, _ = _load_archive(args)
+    for version_path in args.versions:
+        document = parse_file(version_path)
+        stats = archive.add_version(document)
+        print(
+            f"merged {version_path} as version {archive.last_version} "
+            f"(matched {stats.nodes_matched}, inserted {stats.nodes_inserted}, "
+            f"content changes {stats.frontier_content_changes})"
+        )
+    _store_archive(args, archive)
+    return 0
+
+
+def cmd_get(args: argparse.Namespace) -> int:
+    archive, _ = _load_archive(args)
+    document = archive.retrieve(args.version)
+    if document is None:
+        print(f"version {args.version} is an empty database", file=sys.stderr)
+        return 1
+    text = to_pretty_string(document, indent="  " if args.indent else "")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote version {args.version} to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_log(args: argparse.Namespace) -> int:
+    archive, _ = _load_archive(args)
+    history = archive.history(args.path)
+    print(f"{args.path}")
+    print(f"  exists at versions: {history.existence.to_text()}")
+    if history.changes:
+        for timestamps, content in history.changes:
+            preview = content if len(content) <= 60 else content[:57] + "..."
+            print(f"  versions {timestamps.to_text()}: {preview}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    archive, _ = _load_archive(args)
+    report = archive_diff(archive, args.from_version, args.to_version)
+    print(report)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    archive, _ = _load_archive(args)
+    stats = archive.stats()
+    print(f"versions:           {stats.versions}")
+    print(f"archive nodes:      {stats.nodes}")
+    print(f"stored timestamps:  {stats.stored_timestamps}")
+    print(f"serialized bytes:   {stats.serialized_bytes}")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    versions = [parse_file(path) for path in args.versions]
+    report = mine_keys(versions)
+    text = str(report.spec) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(report.spec)} keys to {args.output}")
+    else:
+        print(text, end="")
+    for note in report.notes:
+        print(f"note: {note}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xarch",
+        description="Key-based XML archiver (Buneman et al., SIGMOD 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser("init", help="create an empty archive")
+    p_init.add_argument("archive")
+    p_init.add_argument("--keys", required=True, help="key specification file")
+    p_init.add_argument("--force", action="store_true")
+    p_init.set_defaults(func=cmd_init)
+
+    p_add = sub.add_parser("add", help="merge version file(s) into the archive")
+    p_add.add_argument("archive")
+    p_add.add_argument("versions", nargs="+")
+    p_add.add_argument("--keys")
+    p_add.set_defaults(func=cmd_add)
+
+    p_get = sub.add_parser("get", help="retrieve a past version")
+    p_get.add_argument("archive")
+    p_get.add_argument("version", type=int)
+    p_get.add_argument("-o", "--output")
+    p_get.add_argument("--indent", action="store_true")
+    p_get.add_argument("--keys")
+    p_get.set_defaults(func=cmd_get)
+
+    p_log = sub.add_parser("log", help="temporal history of a keyed element")
+    p_log.add_argument("archive")
+    p_log.add_argument("path")
+    p_log.add_argument("--keys")
+    p_log.set_defaults(func=cmd_log)
+
+    p_diff = sub.add_parser("diff", help="semantic changes between versions")
+    p_diff.add_argument("archive")
+    p_diff.add_argument("from_version", type=int)
+    p_diff.add_argument("to_version", type=int)
+    p_diff.add_argument("--keys")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_stats = sub.add_parser("stats", help="archive size and shape")
+    p_stats.add_argument("archive")
+    p_stats.add_argument("--keys")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_mine = sub.add_parser("mine", help="infer a key spec from versions")
+    p_mine.add_argument("versions", nargs="+")
+    p_mine.add_argument("-o", "--output")
+    p_mine.set_defaults(func=cmd_mine)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        print(f"xarch: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

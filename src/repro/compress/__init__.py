@@ -1,0 +1,36 @@
+"""Compression substrate: gzip-equivalent DEFLATE and an XMill simulator.
+
+The paper compresses delta repositories with ``gzip -9`` and archives
+with XMill; both are reproduced here on stdlib zlib, with XMill's
+structure/container separation implemented in full (round-tripping).
+"""
+
+from .gzipper import (
+    GZIP_FRAMING_BYTES,
+    deflate,
+    gzip_concatenated_size,
+    gzip_pieces_size,
+    gzip_size,
+    inflate,
+)
+from .xmill import (
+    XMillResult,
+    compress,
+    compressed_size,
+    compressed_text_size,
+    decompress,
+)
+
+__all__ = [
+    "GZIP_FRAMING_BYTES",
+    "XMillResult",
+    "compress",
+    "compressed_size",
+    "compressed_text_size",
+    "decompress",
+    "deflate",
+    "gzip_concatenated_size",
+    "gzip_pieces_size",
+    "gzip_size",
+    "inflate",
+]

@@ -1,0 +1,220 @@
+"""An XMill-style XML compressor (Liefke & Suciu 2000).
+
+XMill's central idea — the one the paper credits for the archive's
+compression win (Sec. 5.4) — is to *separate structure from content and
+group content by meaning*:
+
+1. the element structure becomes a token stream over a tag dictionary;
+2. character data and attribute values are routed into *containers*,
+   one per root-to-node tag path, so values of like elements (all
+   ``<sal>`` figures, all ``<tel>`` numbers, all timestamp attributes)
+   sit together;
+3. containers are compressed with DEFLATE — large ones individually,
+   small ones bundled into one stream in path order (XMill likewise
+   avoids paying a compressor reset per tiny container), along with the
+   structure stream.
+
+This implementation round-trips: :func:`decompress` restores a document
+value-equal to the input.  Sizes are therefore honest — nothing is
+dropped to cheat the byte counts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..xmltree.model import Element, Text
+
+# Structure-stream opcodes.  Tag tokens start at _FIRST_TAG.
+_END = 0          # close current element
+_TEXT = 1         # text child; value in the current path's container
+_ATTRS = 2        # attribute block follows: count, then (name, value) refs
+_FIRST_TAG = 3
+
+# Container framing characters (disallowed in XML 1.0 character data).
+_VALUE_SEP = "\x00"
+_SECTION_SEP = "\x01"
+_HEADER_SEP = "\x02"
+
+#: Containers smaller than this (raw bytes) are bundled together.
+SMALL_CONTAINER_THRESHOLD = 4096
+
+
+@dataclass
+class XMillResult:
+    """Compressed output plus a size breakdown."""
+
+    structure: bytes
+    tag_dictionary: bytes
+    containers: dict[str, bytes]  # large containers, one stream each
+    bundle: bytes                 # all small containers, one stream
+
+    def total_bytes(self) -> int:
+        return (
+            len(self.structure)
+            + len(self.tag_dictionary)
+            + len(self.bundle)
+            + sum(len(blob) for blob in self.containers.values())
+        )
+
+
+class _Encoder:
+    def __init__(self) -> None:
+        self.tags: dict[str, int] = {}
+        self.structure: list[int] = []
+        self.containers: dict[str, list[str]] = {}
+
+    def tag_token(self, tag: str) -> int:
+        token = self.tags.get(tag)
+        if token is None:
+            token = len(self.tags) + _FIRST_TAG
+            self.tags[tag] = token
+        return token
+
+    def put_value(self, path: str, value: str) -> None:
+        self.containers.setdefault(path, []).append(value)
+
+    def encode(self, node: Element, path: str) -> None:
+        here = f"{path}/{node.tag}"
+        self.structure.append(self.tag_token(node.tag))
+        if node.attributes:
+            self.structure.append(_ATTRS)
+            self.structure.append(len(node.attributes))
+            for attr in node.attributes:
+                self.structure.append(self.tag_token(attr.name))
+                self.put_value(f"{here}/@{attr.name}", attr.value)
+        for child in node.children:
+            if isinstance(child, Text):
+                self.structure.append(_TEXT)
+                self.put_value(f"{here}/#text", child.text)
+            else:
+                self.encode(child, here)
+        self.structure.append(_END)
+
+
+def _pack_varints(values: list[int]) -> bytes:
+    out = bytearray()
+    for value in values:
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def _unpack_varints(blob: bytes) -> list[int]:
+    values: list[int] = []
+    current = 0
+    shift = 0
+    for byte in blob:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+        else:
+            values.append(current)
+            current = 0
+            shift = 0
+    return values
+
+
+def compress(document: Element, level: int = 9) -> XMillResult:
+    """Compress a document into structure + per-path containers."""
+    encoder = _Encoder()
+    encoder.encode(document, "")
+    structure = zlib.compress(_pack_varints(encoder.structure), level)
+    dictionary_text = _VALUE_SEP.join(
+        name for name, _ in sorted(encoder.tags.items(), key=lambda item: item[1])
+    )
+    tag_dictionary = zlib.compress(dictionary_text.encode("utf-8"), level)
+
+    large: dict[str, bytes] = {}
+    small_sections: list[str] = []
+    for path in sorted(encoder.containers):
+        values = encoder.containers[path]
+        raw = _VALUE_SEP.join(values)
+        if len(raw.encode("utf-8")) >= SMALL_CONTAINER_THRESHOLD:
+            large[path] = zlib.compress(raw.encode("utf-8"), level)
+        else:
+            small_sections.append(f"{path}{_HEADER_SEP}{raw}")
+    bundle = (
+        zlib.compress(_SECTION_SEP.join(small_sections).encode("utf-8"), level)
+        if small_sections
+        else b""
+    )
+    return XMillResult(
+        structure=structure,
+        tag_dictionary=tag_dictionary,
+        containers=large,
+        bundle=bundle,
+    )
+
+
+def compressed_size(document: Element, level: int = 9) -> int:
+    """Total XMill-compressed size in bytes."""
+    return compress(document, level).total_bytes()
+
+
+def compressed_text_size(text: str, level: int = 9) -> int:
+    """XMill size of an XML string (parses, then compresses)."""
+    from ..xmltree.parser import parse_document
+
+    return compressed_size(parse_document(text), level)
+
+
+def decompress(result: XMillResult) -> Element:
+    """Rebuild the document (value-equal to the original)."""
+    structure = _unpack_varints(zlib.decompress(result.structure))
+    dictionary_text = zlib.decompress(result.tag_dictionary).decode("utf-8")
+    tags = dictionary_text.split(_VALUE_SEP) if dictionary_text else []
+
+    containers: dict[str, list[str]] = {
+        path: zlib.decompress(blob).decode("utf-8").split(_VALUE_SEP)
+        for path, blob in result.containers.items()
+    }
+    if result.bundle:
+        for section in zlib.decompress(result.bundle).decode("utf-8").split(
+            _SECTION_SEP
+        ):
+            path, _, raw = section.partition(_HEADER_SEP)
+            containers[path] = raw.split(_VALUE_SEP)
+    cursors = {path: 0 for path in containers}
+
+    def take(path: str) -> str:
+        index = cursors[path]
+        cursors[path] = index + 1
+        return containers[path][index]
+
+    position = 0
+
+    def read_element(path: str) -> Element:
+        nonlocal position
+        token = structure[position]
+        position += 1
+        tag = tags[token - _FIRST_TAG]
+        here = f"{path}/{tag}"
+        node = Element(tag)
+        if position < len(structure) and structure[position] == _ATTRS:
+            position += 1
+            count = structure[position]
+            position += 1
+            for _ in range(count):
+                name = tags[structure[position] - _FIRST_TAG]
+                position += 1
+                node.set_attribute(name, take(f"{here}/@{name}"))
+        while structure[position] != _END:
+            if structure[position] == _TEXT:
+                position += 1
+                text = take(f"{here}/#text")
+                if text:
+                    node.append(Text(text))
+            else:
+                node.append(read_element(here))
+        position += 1  # consume _END
+        return node
+
+    return read_element("")

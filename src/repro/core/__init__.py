@@ -1,0 +1,69 @@
+"""The paper's primary contribution: the key-based merging archiver.
+
+Interval timestamps (Sec. 2), Nested Merge (Sec. 4.2), fingerprints
+(Sec. 4.3), further compaction (Example 4.3), the XML archive
+representation (Fig. 5), version retrieval and element history (Sec. 7).
+"""
+
+from .archive import (
+    Archive,
+    ArchiveError,
+    ArchiveOptions,
+    ArchiveStats,
+    ElementHistory,
+    ROOT_TAG,
+    T_ATTR,
+    T_TAG,
+)
+from .canonicalize import documents_equivalent, normalize_document
+from .fingerprint import Fingerprinter
+from .merge import (
+    AttributeChangeError,
+    MergeOptions,
+    MergeStats,
+    build_archive_subtree,
+    nested_merge,
+)
+from .nodes import Alternative, ArchiveNode, Weave, WeaveSegment
+from .tempquery import (
+    Change,
+    ChangeReport,
+    archive_diff,
+    first_appearance,
+    keyed_diff,
+    last_change,
+)
+from .respec import checkpoint_archive, rearchive
+from .versionset import VersionSet
+
+__all__ = [
+    "Alternative",
+    "Archive",
+    "ArchiveError",
+    "ArchiveNode",
+    "ArchiveOptions",
+    "ArchiveStats",
+    "AttributeChangeError",
+    "ElementHistory",
+    "Fingerprinter",
+    "MergeOptions",
+    "MergeStats",
+    "ROOT_TAG",
+    "T_ATTR",
+    "T_TAG",
+    "VersionSet",
+    "Change",
+    "ChangeReport",
+    "archive_diff",
+    "first_appearance",
+    "keyed_diff",
+    "last_change",
+    "Weave",
+    "WeaveSegment",
+    "build_archive_subtree",
+    "documents_equivalent",
+    "nested_merge",
+    "rearchive",
+    "checkpoint_archive",
+    "normalize_document",
+]

@@ -1,0 +1,490 @@
+"""The archive: merged versions in one keyed, timestamped hierarchy.
+
+:class:`Archive` is the public facade over the whole pipeline of the
+paper's Fig. 6: ``add_version`` annotates keys and runs Nested Merge;
+``retrieve`` reconstructs any past version with a single scan;
+``history`` returns the temporal history of a keyed element; and
+``to_xml_string`` / ``from_xml_string`` round-trip the archive through
+the ``<T t="...">`` XML representation of Fig. 5 — "our archive can be
+easily represented as yet another XML document".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..keys.annotate import KeyLabel, KeyValue, annotate_keys, compute_key_value
+from ..keys.paths import Path, format_path, parse_path
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element, Text
+from ..xmltree.parser import parse_document
+from ..xmltree.serializer import to_pretty_string, to_string
+from .compaction import weave_content_at
+from .fingerprint import Fingerprinter
+from .merge import MergeOptions, MergeStats, nested_merge
+from .nodes import Alternative, ArchiveNode, Weave, WeaveSegment
+from .versionset import VersionSet
+
+#: Tag of timestamp elements; the paper puts it in its own namespace.
+T_TAG = "T"
+#: Attribute carrying the interval-encoded timestamp on a T element.
+T_ATTR = "t"
+#: Tag of the synthetic root that tracks empty versions (Sec. 2).
+ROOT_TAG = "root"
+
+
+class ArchiveError(ValueError):
+    """Raised on malformed archives or unusable queries."""
+
+
+@dataclass
+class ArchiveOptions:
+    """Behavioural switches of the archiver.
+
+    * ``fingerprinter`` — order/merge keyed siblings by fingerprints of
+      their key values (Sec. 4.3).
+    * ``compaction`` — store frontier content as an SCCS weave
+      (*further compaction*, Example 4.3) instead of full alternatives.
+      An archive must be read back with the same setting it was written
+      with: the two storage forms share the ``<T>`` surface syntax.
+    """
+
+    fingerprinter: Optional[Fingerprinter] = None
+    compaction: bool = False
+
+    def merge_options(self) -> MergeOptions:
+        return MergeOptions(
+            fingerprinter=self.fingerprinter, compaction=self.compaction
+        )
+
+
+@dataclass
+class ArchiveStats:
+    """Size/shape counters of an archive."""
+
+    versions: int
+    nodes: int
+    stored_timestamps: int
+    serialized_bytes: int
+
+
+@dataclass
+class ElementHistory:
+    """Temporal history of one keyed element (Sec. 7.2).
+
+    ``existence`` is the set of versions in which the element occurs.
+    For frontier elements, ``changes`` lists ``(versions, content)``
+    pairs: each distinct content value with the versions during which it
+    was current — the "meaningful change description" the paper
+    contrasts with diff scripts.
+    """
+
+    path: str
+    existence: VersionSet
+    changes: Optional[list[tuple[VersionSet, str]]] = None
+
+
+class Archive:
+    """A merged, timestamped archive of document versions."""
+
+    def __init__(self, spec: KeySpec, options: Optional[ArchiveOptions] = None) -> None:
+        self.spec = spec
+        self.options = options or ArchiveOptions()
+        self.root = ArchiveNode(
+            label=KeyLabel(tag=ROOT_TAG, key=()), timestamp=VersionSet()
+        )
+
+    # -- versions ----------------------------------------------------------
+
+    @property
+    def last_version(self) -> int:
+        """The highest archived version number (0 before any merge)."""
+        assert self.root.timestamp is not None
+        if not self.root.timestamp:
+            return 0
+        return self.root.timestamp.max_version()
+
+    @property
+    def version_count(self) -> int:
+        assert self.root.timestamp is not None
+        return len(self.root.timestamp)
+
+    def add_version(self, document: Optional[Element]) -> MergeStats:
+        """Archive the next version.
+
+        ``document`` is the new version's root element; ``None`` records
+        an *empty* version (the paper's Sec. 2: the root node's
+        timestamp advances while the database node's does not).
+        """
+        version = self.last_version + 1
+        assert self.root.timestamp is not None
+        self.root.timestamp.add(version)
+        if document is None:
+            # Terminate timestamps of the document roots.
+            inherited = self.root.timestamp
+            for child in self.root.children:
+                if child.timestamp is None:
+                    child.timestamp = inherited.without(version)
+            return MergeStats()
+        annotated = annotate_keys(document, self.spec)
+        return nested_merge(
+            self.root, annotated, version, self.options.merge_options()
+        )
+
+    # -- retrieval (Sec. 7.1 single-scan form) ---------------------------------
+
+    def retrieve(self, version: int) -> Optional[Element]:
+        """Reconstruct version ``version``; ``None`` for an empty version.
+
+        Keyed siblings come back in key order — the archive deliberately
+        "ignores the order among elements with keys" (Sec. 2).
+        """
+        assert self.root.timestamp is not None
+        if version not in self.root.timestamp:
+            raise ArchiveError(
+                f"Version {version} is not in the archive "
+                f"(have {self.root.timestamp.to_text() or 'none'})"
+            )
+        for child in self.root.children:
+            rebuilt = self._reconstruct(child, version, self.root.timestamp)
+            if rebuilt is not None:
+                return rebuilt
+        return None
+
+    def _reconstruct(
+        self, node: ArchiveNode, version: int, inherited: VersionSet
+    ) -> Optional[Element]:
+        timestamp = node.effective_timestamp(inherited)
+        if version not in timestamp:
+            return None
+        element = Element(node.label.tag)
+        for name, value in node.attributes:
+            element.set_attribute(name, value)
+        if node.weave is not None:
+            for content in weave_content_at(node.weave, version):
+                element.append(content)
+            return element
+        if node.alternatives is not None:
+            for alternative in node.alternatives:
+                if alternative.timestamp is None or version in alternative.timestamp:
+                    for content in alternative.content:
+                        element.append(content.copy())
+                    break
+            return element
+        for child in node.children:
+            rebuilt = self._reconstruct(child, version, timestamp)
+            if rebuilt is not None:
+                element.append(rebuilt)
+        return element
+
+    # -- temporal history (Sec. 7.2) ----------------------------------------------
+
+    def history(self, path: str) -> ElementHistory:
+        """History of the element at a keyed path.
+
+        Path syntax matches the paper's examples:
+        ``/db/dept[name=finance]/emp[fn=John, ln=Doe]`` — each step is a
+        tag plus the key-path/value pairs identifying the node among its
+        siblings.  Steps with singleton keys take no predicate
+        (``/db/dept[name=finance]/emp[fn=John, ln=Doe]/sal``).
+        """
+        steps = _parse_history_path(path)
+        node = self.root
+        assert self.root.timestamp is not None
+        inherited = self.root.timestamp
+        for tag, key_value in steps:
+            label = KeyLabel(tag=tag, key=key_value)
+            child = node.find_child(label)
+            if child is None:
+                raise ArchiveError(f"No element {label} in the archive under {node.label}")
+            inherited = child.effective_timestamp(inherited)
+            node = child
+        return ElementHistory(
+            path=path,
+            existence=inherited.copy(),
+            changes=self._content_changes(node, inherited),
+        )
+
+    @staticmethod
+    def _content_changes(
+        node: ArchiveNode, existence: VersionSet
+    ) -> Optional[list[tuple[VersionSet, str]]]:
+        if node.alternatives is not None:
+            changes = []
+            for alternative in node.alternatives:
+                timestamp = (
+                    alternative.timestamp.copy()
+                    if alternative.timestamp is not None
+                    else existence.copy()
+                )
+                rendered = "".join(
+                    to_string(c) if isinstance(c, Element) else c.text
+                    for c in alternative.content
+                )
+                changes.append((timestamp, rendered))
+            return changes
+        if node.weave is not None:
+            changes = []
+            previous: Optional[str] = None
+            run: Optional[VersionSet] = None
+            for version in existence:
+                rendered = "\n".join(node.weave.lines_at(version))
+                if rendered == previous and run is not None:
+                    run.add(version)
+                else:
+                    if run is not None and previous is not None:
+                        changes.append((run, previous))
+                    run = VersionSet([version])
+                    previous = rendered
+            if run is not None and previous is not None:
+                changes.append((run, previous))
+            return changes
+        return None
+
+    # -- XML representation (Fig. 5) -------------------------------------------------
+
+    def to_xml(self) -> Element:
+        """The archive as an XML element tree (Fig. 5)."""
+        assert self.root.timestamp is not None
+        wrapper = Element(T_TAG)
+        wrapper.set_attribute(T_ATTR, self.root.timestamp.to_text())
+        root_element = wrapper.append(Element(ROOT_TAG))
+        for child in self.root.children:
+            self._emit(child, root_element)
+        return wrapper
+
+    def to_xml_string(self, pretty: bool = True) -> str:
+        xml = self.to_xml()
+        return to_pretty_string(xml) if pretty else to_string(xml)
+
+    def _emit(self, node: ArchiveNode, parent: Element) -> None:
+        element = Element(node.label.tag)
+        for name, value in node.attributes:
+            element.set_attribute(name, value)
+        if node.timestamp is not None:
+            wrapper = Element(T_TAG)
+            wrapper.set_attribute(T_ATTR, node.timestamp.to_text())
+            wrapper.append(element)
+            parent.append(wrapper)
+        else:
+            parent.append(element)
+        if node.weave is not None:
+            for segment in node.weave.segments:
+                t_node = Element(T_TAG)
+                t_node.set_attribute(T_ATTR, segment.timestamp.to_text())
+                t_node.append(Text("\n".join(segment.lines)))
+                element.append(t_node)
+            return
+        if node.alternatives is not None:
+            if len(node.alternatives) == 1 and node.alternatives[0].timestamp is None:
+                for content in node.alternatives[0].content:
+                    element.append(content.copy())
+            else:
+                for alternative in node.alternatives:
+                    assert alternative.timestamp is not None
+                    t_node = Element(T_TAG)
+                    t_node.set_attribute(T_ATTR, alternative.timestamp.to_text())
+                    for content in alternative.content:
+                        t_node.append(content.copy())
+                    element.append(t_node)
+            return
+        for child in node.children:
+            self._emit(child, element)
+
+    # -- parsing the XML representation back ---------------------------------------------
+
+    @classmethod
+    def from_xml_string(
+        cls,
+        text: str,
+        spec: KeySpec,
+        options: Optional[ArchiveOptions] = None,
+    ) -> "Archive":
+        """Parse an archive previously written by :meth:`to_xml_string`.
+
+        ``options`` (in particular ``compaction``) must match the
+        options the archive was written with.
+        """
+        return cls.from_xml(parse_document(text), spec, options)
+
+    @classmethod
+    def from_xml(
+        cls,
+        xml: Element,
+        spec: KeySpec,
+        options: Optional[ArchiveOptions] = None,
+    ) -> "Archive":
+        archive = cls(spec, options)
+        if xml.tag != T_TAG or xml.get_attribute(T_ATTR) is None:
+            raise ArchiveError("Archive XML must start with a <T t='...'> wrapper")
+        assert archive.root.timestamp is not None
+        timestamp_text = xml.get_attribute(T_ATTR) or ""
+        archive.root.timestamp = VersionSet.parse(timestamp_text)
+        root_element = xml.find(ROOT_TAG)
+        if root_element is None:
+            raise ArchiveError(f"Archive XML lacks the <{ROOT_TAG}> element")
+        for child in root_element.children:
+            archive._read_top(child)
+        token = archive.options.merge_options().sort_token()
+        archive.root.children.sort(key=lambda c: token(c.label))
+        return archive
+
+    def _read_top(self, child) -> None:
+        if isinstance(child, Text):
+            if child.text.strip():
+                raise ArchiveError("Stray text directly under the archive root")
+            return
+        if child.tag == T_TAG:
+            timestamp = VersionSet.parse(child.get_attribute(T_ATTR) or "")
+            for grandchild in child.element_children():
+                self.root.children.append(
+                    self._read_node(grandchild, timestamp.copy(), (grandchild.tag,))
+                )
+        else:
+            self.root.children.append(self._read_node(child, None, (child.tag,)))
+
+    def _read_node(
+        self, element: Element, timestamp: Optional[VersionSet], path: Path
+    ) -> ArchiveNode:
+        label = self._label_for(element, path)
+        node = ArchiveNode(
+            label=label,
+            timestamp=timestamp,
+            attributes=tuple(
+                sorted((attr.name, attr.value) for attr in element.attributes)
+            ),
+        )
+        if self._is_frontier(path):
+            self._read_frontier_content(element, node)
+            return node
+        token = self.options.merge_options().sort_token()
+        for child in element.children:
+            if isinstance(child, Text):
+                if child.text.strip():
+                    raise ArchiveError(
+                        f"Text above the frontier in archive at {format_path(path)}"
+                    )
+                continue
+            if child.tag == T_TAG:
+                child_timestamp = VersionSet.parse(child.get_attribute(T_ATTR) or "")
+                for grandchild in child.element_children():
+                    node.children.append(
+                        self._read_node(
+                            grandchild,
+                            child_timestamp.copy(),
+                            path + (grandchild.tag,),
+                        )
+                    )
+            else:
+                node.children.append(self._read_node(child, None, path + (child.tag,)))
+        node.children.sort(key=lambda c: token(c.label))
+        return node
+
+    def _read_frontier_content(self, element: Element, node: ArchiveNode) -> None:
+        t_children = [
+            child
+            for child in element.element_children()
+            if child.tag == T_TAG and child.get_attribute(T_ATTR) is not None
+        ]
+        if self.options.compaction:
+            segments = []
+            for t_child in t_children:
+                lines_text = t_child.text_content()
+                segments.append(
+                    WeaveSegment(
+                        timestamp=VersionSet.parse(t_child.get_attribute(T_ATTR) or ""),
+                        lines=lines_text.split("\n") if lines_text else [],
+                    )
+                )
+            node.weave = Weave(segments=segments)
+            return
+        if t_children:
+            node.alternatives = [
+                Alternative(
+                    timestamp=VersionSet.parse(t_child.get_attribute(T_ATTR) or ""),
+                    content=[c.copy() for c in t_child.children],
+                )
+                for t_child in t_children
+            ]
+        else:
+            node.alternatives = [
+                Alternative(
+                    timestamp=None, content=[c.copy() for c in element.children]
+                )
+            ]
+
+    def _label_for(self, element: Element, path: Path) -> KeyLabel:
+        if len(self.spec) == 0:
+            return KeyLabel(tag=element.tag, key=())
+        key = self.spec.key_for(path)
+        if key is None:
+            raise ArchiveError(
+                f"Archive element at {format_path(path)} is not keyed by the spec"
+            )
+        return KeyLabel(tag=element.tag, key=compute_key_value(element, key))
+
+    def _is_frontier(self, path: Path) -> bool:
+        if len(self.spec) == 0:
+            return len(path) == 1
+        return self.spec.is_frontier_path(path)
+
+    # -- measures -----------------------------------------------------------------------
+
+    def stats(self) -> ArchiveStats:
+        return ArchiveStats(
+            versions=self.version_count,
+            nodes=self.root.node_count(),
+            stored_timestamps=self.root.timestamp_count(),
+            serialized_bytes=len(self.to_xml_string().encode("utf-8")),
+        )
+
+
+def _parse_history_path(path: str) -> list[tuple[str, KeyValue]]:
+    """Parse ``/db/dept[name=finance]/emp[fn=John, ln=Doe]`` steps."""
+    text = path.strip()
+    if not text.startswith("/"):
+        raise ArchiveError(f"History path must be absolute: {path!r}")
+    steps: list[tuple[str, KeyValue]] = []
+    for raw_step in _split_steps(text[1:]):
+        bracket = raw_step.find("[")
+        if bracket == -1:
+            steps.append((raw_step, ()))
+            continue
+        if not raw_step.endswith("]"):
+            raise ArchiveError(f"Malformed step {raw_step!r} in {path!r}")
+        tag = raw_step[:bracket]
+        inner = raw_step[bracket + 1 : -1]
+        components: list[tuple[str, str]] = []
+        for pair in inner.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            if "=" not in pair:
+                raise ArchiveError(f"Malformed predicate {pair!r} in {path!r}")
+            name, value = pair.split("=", 1)
+            key_path = parse_path(name.strip())
+            components.append((format_path(key_path, absolute=False), value.strip()))
+        components.sort(key=lambda item: item[0])
+        steps.append((tag, tuple(components)))
+    return steps
+
+
+def _split_steps(text: str) -> list[str]:
+    """Split on ``/`` outside brackets (key values may contain ``/``)."""
+    steps: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "/" and depth == 0:
+            steps.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        steps.append("".join(current))
+    return [step for step in steps if step]

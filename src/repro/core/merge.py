@@ -1,0 +1,296 @@
+"""Nested Merge (Sec. 4.2): merge a new version into an archive.
+
+``nested_merge`` implements the paper's algorithm: walk archive and
+version top-down in lock-step, pairing children with equal key labels
+via a merge-join over label-sorted child lists, augmenting timestamps of
+surviving nodes with the new version number, terminating timestamps of
+deleted nodes, and inserting new subtrees with the new version number
+as their timestamp.  Frontier nodes — where keys run out — are handled
+by whole-content value comparison (or by an SCCS weave under *further
+compaction*, Example 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..keys.annotate import AnnotatedDocument, KeyLabel
+from ..xmltree.canonical import canonical_form
+from ..xmltree.model import Element
+from .compaction import merge_weave, weave_from_content
+from .fingerprint import Fingerprinter
+from .nodes import Alternative, ArchiveNode, ContentNode
+from .versionset import VersionSet
+
+SortToken = Callable[[KeyLabel], tuple]
+
+
+@dataclass
+class MergeOptions:
+    """Tunable behaviour of Nested Merge.
+
+    * ``fingerprinter`` — when set, keyed siblings are ordered by
+      fingerprints of their key values (Sec. 4.3) instead of the values
+      themselves; correctness is preserved under collisions.
+    * ``compaction`` — when ``True``, frontier content is stored as an
+      SCCS-style weave (*further compaction*) instead of per-timestamp
+      alternatives.
+    """
+
+    fingerprinter: Optional[Fingerprinter] = None
+    compaction: bool = False
+
+    def sort_token(self) -> SortToken:
+        if self.fingerprinter is not None:
+            return self.fingerprinter.sort_token
+        return KeyLabel.sort_token
+
+
+@dataclass
+class MergeStats:
+    """Counters describing one merge, useful for experiments and tests."""
+
+    nodes_matched: int = 0
+    nodes_inserted: int = 0
+    nodes_terminated: int = 0
+    frontier_content_changes: int = 0
+
+
+def _content_equal(a: list[ContentNode], b: list[ContentNode]) -> bool:
+    if len(a) != len(b):
+        return False
+    return all(canonical_form(x) == canonical_form(y) for x, y in zip(a, b))
+
+
+def _copy_content(nodes: list[ContentNode]) -> list[ContentNode]:
+    return [node.copy() for node in nodes]
+
+
+def _attribute_pairs(node: Element) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((attr.name, attr.value) for attr in node.attributes))
+
+
+class AttributeChangeError(ValueError):
+    """An attribute of a persisting keyed node changed between versions.
+
+    The archiver requires keyed-node attributes to be stable (they are
+    key values in all the paper's datasets); model a mutable attribute
+    as a keyed child element instead.
+    """
+
+
+def build_archive_subtree(
+    node: Element,
+    document: AnnotatedDocument,
+    timestamp: Optional[VersionSet],
+    version: int,
+    options: MergeOptions,
+) -> ArchiveNode:
+    """Convert a version-``version`` subtree into archive form.
+
+    The subtree root carries ``timestamp``; descendants inherit it (the
+    whole subtree enters existence at once), so they store no timestamps
+    of their own — this is where timestamp inheritance saves space.
+    Weave segments always carry explicit timestamps, hence ``version``.
+    """
+    label = document.label(node)
+    assert label is not None, f"build_archive_subtree on unkeyed node <{node.tag}>"
+    archive_node = ArchiveNode(
+        label=label, timestamp=timestamp, attributes=_attribute_pairs(node)
+    )
+    if document.is_frontier(node):
+        if options.compaction:
+            archive_node.weave = weave_from_content(
+                node.children, VersionSet([version])
+            )
+        else:
+            archive_node.alternatives = [
+                Alternative(timestamp=None, content=_copy_content(node.children))
+            ]
+        return archive_node
+    token = options.sort_token()
+    children = [
+        build_archive_subtree(child, document, None, version, options)
+        for child in node.element_children()
+    ]
+    children.sort(key=lambda c: token(c.label))
+    archive_node.children = children
+    return archive_node
+
+
+def nested_merge(
+    archive_root: ArchiveNode,
+    document: AnnotatedDocument,
+    version: int,
+    options: Optional[MergeOptions] = None,
+) -> MergeStats:
+    """Merge version ``version`` (the annotated document) into the archive.
+
+    ``archive_root`` is the paper's virtual root ``r_A``; the document
+    root is matched against its children by label.  The archive root's
+    timestamp must already include ``version`` (the
+    :class:`~repro.core.archive.Archive` facade maintains it).
+    """
+    options = options or MergeOptions()
+    stats = MergeStats()
+    root_label = document.label(document.root)
+    assert root_label is not None
+    inherited = archive_root.effective_timestamp(VersionSet())
+    token = options.sort_token()
+
+    existing = archive_root.find_child(root_label)
+    if existing is None:
+        subtree = build_archive_subtree(
+            document.root, document, VersionSet([version]), version, options
+        )
+        archive_root.children.append(subtree)
+        archive_root.children.sort(key=lambda c: token(c.label))
+        stats.nodes_inserted += 1
+    else:
+        _merge_node(existing, document.root, document, version, inherited, options, stats)
+    # Terminate any sibling roots absent from this version.
+    for child in archive_root.children:
+        if child.label != root_label and child.timestamp is None:
+            child.timestamp = inherited.without(version)
+    return stats
+
+
+def _merge_node(
+    x: ArchiveNode,
+    y: Element,
+    document: AnnotatedDocument,
+    version: int,
+    inherited: VersionSet,
+    options: MergeOptions,
+    stats: MergeStats,
+) -> None:
+    """The paper's ``Nested Merge(x, y, T)`` with ``label(x) = label(y)``."""
+    stats.nodes_matched += 1
+    incoming_attributes = _attribute_pairs(y)
+    if incoming_attributes != x.attributes:
+        raise AttributeChangeError(
+            f"Attributes of <{x.label}> changed from {x.attributes} to "
+            f"{incoming_attributes}; keyed-node attributes must be stable"
+        )
+    if x.timestamp is not None:
+        x.timestamp.add(version)
+        current = x.timestamp
+    else:
+        current = inherited
+
+    if document.is_frontier(y):
+        _merge_frontier(x, y, version, current, options, stats)
+        return
+
+    token = options.sort_token()
+    version_children = sorted(
+        y.element_children(), key=lambda child: token(document.label(child))
+    )
+    # x.children is maintained sorted by the same token; merge-join.
+    merged: list[ArchiveNode] = []
+    i, j = 0, 0
+    archive_children = x.children
+    while i < len(archive_children) and j < len(version_children):
+        x_child = archive_children[i]
+        y_child = version_children[j]
+        x_token = token(x_child.label)
+        y_token = token(document.label(y_child))
+        if x_token == y_token:
+            _merge_node(x_child, y_child, document, version, current, options, stats)
+            merged.append(x_child)
+            i += 1
+            j += 1
+        elif x_token < y_token:
+            _terminate(x_child, version, current, stats)
+            merged.append(x_child)
+            i += 1
+        else:
+            merged.append(_insert(x, y_child, document, version, options, stats))
+            j += 1
+    while i < len(archive_children):
+        _terminate(archive_children[i], version, current, stats)
+        merged.append(archive_children[i])
+        i += 1
+    while j < len(version_children):
+        merged.append(_insert(x, version_children[j], document, version, options, stats))
+        j += 1
+    x.children = merged
+
+
+def _terminate(
+    x_child: ArchiveNode, version: int, current: VersionSet, stats: MergeStats
+) -> None:
+    """Action (b): the archive child is absent from this version."""
+    if x_child.timestamp is None:
+        x_child.timestamp = current.without(version)
+        stats.nodes_terminated += 1
+    # A child with its own timestamp was simply not augmented; nothing to do.
+
+
+def _insert(
+    parent: ArchiveNode,
+    y_child: Element,
+    document: AnnotatedDocument,
+    version: int,
+    options: MergeOptions,
+    stats: MergeStats,
+) -> ArchiveNode:
+    """Action (c): the version child is new; graft it with timestamp {i}."""
+    stats.nodes_inserted += 1
+    return build_archive_subtree(
+        y_child, document, VersionSet([version]), version, options
+    )
+
+
+def _merge_frontier(
+    x: ArchiveNode,
+    y: Element,
+    version: int,
+    current: VersionSet,
+    options: MergeOptions,
+    stats: MergeStats,
+) -> None:
+    """Frontier-node branch of the paper's algorithm."""
+    if x.weave is not None:
+        changed = merge_weave(x.weave, y.children, version)
+        if changed:
+            stats.frontier_content_changes += 1
+        return
+    assert x.alternatives is not None, "frontier node lost its content store"
+    if merge_alternatives(x.alternatives, y.children, version, current):
+        stats.frontier_content_changes += 1
+
+
+def merge_alternatives(
+    alternatives: list[Alternative],
+    content: list[ContentNode],
+    version: int,
+    current: VersionSet,
+) -> bool:
+    """Merge one version's frontier content into an alternative list.
+
+    Implements the frontier branch of the paper's algorithm; shared by
+    the in-memory merge and the external-memory stream merge.  Returns
+    ``True`` when the content changed.
+    """
+    if len(alternatives) == 1 and alternatives[0].timestamp is None:
+        # No timestamp children yet.
+        if _content_equal(alternatives[0].content, content):
+            return False
+        old = alternatives[0]
+        old.timestamp = current.without(version)
+        alternatives.append(
+            Alternative(timestamp=VersionSet([version]), content=_copy_content(content))
+        )
+        return True
+    # All children are timestamp nodes.
+    for alternative in alternatives:
+        assert alternative.timestamp is not None
+        if _content_equal(alternative.content, content):
+            alternative.timestamp.add(version)
+            return False
+    alternatives.append(
+        Alternative(timestamp=VersionSet([version]), content=_copy_content(content))
+    )
+    return True

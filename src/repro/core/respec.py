@@ -1,0 +1,72 @@
+"""Re-archiving under a changed key structure (Sec. 9, open issues).
+
+"Our archiving technique requires that all versions of the database
+must conform to the same key structure.  Since schemas tend to change
+slightly over time, a natural question is how this technique can be
+extended to archive data under circumstances where the key structure
+may also change."
+
+The sound general answer — and the one implemented here — is
+*re-archiving*: replay every stored version out of the old archive and
+merge it into a fresh archive under the new key specification.  Element
+identity is re-derived from the new keys, so continuity is preserved
+wherever the new keys agree with the old ones, and re-split where they
+do not.  Cost is one retrieval plus one merge per version (the archive
+makes both cheap), and the operation doubles as the paper's other
+Sec. 9 proposal, archive *checkpointing*: ``rearchive`` with the same
+spec but ``since`` set drops history before a cut-off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..keys.spec import KeySpec
+from .archive import Archive, ArchiveOptions
+
+
+def rearchive(
+    archive: Archive,
+    new_spec: KeySpec,
+    options: Optional[ArchiveOptions] = None,
+    since: int = 1,
+) -> Archive:
+    """Rebuild ``archive`` under ``new_spec``.
+
+    Every version from ``since`` through the latest is retrieved from
+    the old archive and merged into the new one, renumbered starting at
+    1.  Versions the old archive recorded as empty stay empty.  Raises
+    if any stored version violates the new key specification — the
+    caller learns *which* version blocks the migration.
+    """
+    if since < 1 or (archive.last_version and since > archive.last_version):
+        raise ValueError(
+            f"since={since} outside the archived range 1..{archive.last_version}"
+        )
+    rebuilt = Archive(new_spec, options or archive.options)
+    assert archive.root.timestamp is not None
+    for version in range(since, archive.last_version + 1):
+        if version in archive.root.timestamp:
+            document = archive.retrieve(version)
+        else:
+            document = None
+        try:
+            rebuilt.add_version(document)
+        except Exception as error:
+            raise ValueError(
+                f"Stored version {version} does not conform to the new key "
+                f"specification: {error}"
+            ) from error
+    return rebuilt
+
+
+def checkpoint_archive(
+    archive: Archive, keep_last: int, options: Optional[ArchiveOptions] = None
+) -> Archive:
+    """The Sec. 9 checkpointing proposal: "a fresh archive may be
+    created at every kth addition".  Returns a fresh archive holding
+    only the last ``keep_last`` versions (renumbered from 1)."""
+    if keep_last < 1:
+        raise ValueError("Must keep at least one version")
+    first = max(1, archive.last_version - keep_last + 1)
+    return rearchive(archive, archive.spec, options=options, since=first)

@@ -1,0 +1,203 @@
+"""Timestamps as compact sets of version numbers (Sec. 2).
+
+A timestamp is a set of version numbers stored as sorted, disjoint,
+non-adjacent closed intervals — the paper's ``[1-3,5,7-9]`` notation.
+Because scientific data is largely accretive, an element tends to live
+through long runs of consecutive versions, so the interval encoding is
+small (usually a single interval).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class VersionSet:
+    """A mutable set of positive version numbers with interval encoding."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, versions: Iterable[int] = ()) -> None:
+        self._intervals: list[list[int]] = []
+        for version in sorted(set(versions)):
+            self.add(version)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_intervals(cls, intervals: Iterable[tuple[int, int]]) -> "VersionSet":
+        """Build from ``(start, end)`` pairs (inclusive)."""
+        result = cls()
+        for start, end in intervals:
+            result.add_range(start, end)
+        return result
+
+    @classmethod
+    def parse(cls, text: str) -> "VersionSet":
+        """Parse the textual form, e.g. ``'1-3,5,7-9'``."""
+        result = cls()
+        text = text.strip()
+        if not text:
+            return result
+        for part in text.split(","):
+            part = part.strip()
+            if "-" in part:
+                start_text, end_text = part.split("-", 1)
+                result.add_range(int(start_text), int(end_text))
+            else:
+                result.add(int(part))
+        return result
+
+    def copy(self) -> "VersionSet":
+        clone = VersionSet()
+        clone._intervals = [list(pair) for pair in self._intervals]
+        return clone
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, version: int) -> None:
+        """Insert one version number."""
+        self.add_range(version, version)
+
+    def add_range(self, start: int, end: int) -> None:
+        """Insert the inclusive range ``start..end``."""
+        if start > end:
+            raise ValueError(f"Empty range {start}-{end}")
+        if start < 1:
+            raise ValueError(f"Version numbers are positive, got {start}")
+        merged: list[list[int]] = []
+        placed = False
+        for lo, hi in self._intervals:
+            if hi + 1 < start:          # entirely before, not adjacent
+                merged.append([lo, hi])
+            elif end + 1 < lo:          # entirely after, not adjacent
+                if not placed:
+                    merged.append([start, end])
+                    placed = True
+                merged.append([lo, hi])
+            else:                        # overlaps or adjacent: absorb
+                start = min(start, lo)
+                end = max(end, hi)
+        if not placed:
+            merged.append([start, end])
+        self._intervals = merged
+
+    def discard(self, version: int) -> None:
+        """Remove one version number if present."""
+        updated: list[list[int]] = []
+        for lo, hi in self._intervals:
+            if version < lo or version > hi:
+                updated.append([lo, hi])
+                continue
+            if lo <= version - 1:
+                updated.append([lo, version - 1])
+            if version + 1 <= hi:
+                updated.append([version + 1, hi])
+        self._intervals = updated
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, version: int) -> bool:
+        # Binary search over the interval list.
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            start, end = self._intervals[mid]
+            if version < start:
+                hi = mid - 1
+            elif version > end:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[int]:
+        for lo, hi in self._intervals:
+            yield from range(lo, hi + 1)
+
+    def __len__(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VersionSet) and self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(tuple(tuple(pair) for pair in self._intervals))
+
+    def intervals(self) -> list[tuple[int, int]]:
+        """The interval encoding as ``(start, end)`` pairs."""
+        return [(lo, hi) for lo, hi in self._intervals]
+
+    def interval_count(self) -> int:
+        return len(self._intervals)
+
+    def min_version(self) -> int:
+        if not self._intervals:
+            raise ValueError("Empty VersionSet has no minimum")
+        return self._intervals[0][0]
+
+    def max_version(self) -> int:
+        if not self._intervals:
+            raise ValueError("Empty VersionSet has no maximum")
+        return self._intervals[-1][1]
+
+    def issuperset(self, other: "VersionSet") -> bool:
+        """``True`` when every version in ``other`` is in ``self``."""
+        it = iter(self._intervals)
+        current = next(it, None)
+        for lo, hi in other._intervals:
+            while current is not None and current[1] < lo:
+                current = next(it, None)
+            if current is None or not (current[0] <= lo and hi <= current[1]):
+                return False
+        return True
+
+    # -- algebra -----------------------------------------------------------------
+
+    def union(self, other: "VersionSet") -> "VersionSet":
+        result = self.copy()
+        for lo, hi in other._intervals:
+            result.add_range(lo, hi)
+        return result
+
+    def intersection(self, other: "VersionSet") -> "VersionSet":
+        result = VersionSet()
+        i, j = 0, 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                result.add_range(lo, hi)
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return result
+
+    def difference(self, other: "VersionSet") -> "VersionSet":
+        result = self.copy()
+        for version in other:
+            result.discard(version)
+        return result
+
+    def without(self, version: int) -> "VersionSet":
+        """A copy with one version removed (the paper's ``T - {i}``)."""
+        result = self.copy()
+        result.discard(version)
+        return result
+
+    # -- text form ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render the paper's notation: ``'1-3,5,7-9'``."""
+        parts = []
+        for lo, hi in self._intervals:
+            parts.append(str(lo) if lo == hi else f"{lo}-{hi}")
+        return ",".join(parts)
+
+    def __repr__(self) -> str:
+        return f"VersionSet({self.to_text()!r})"

@@ -1,0 +1,27 @@
+"""Synthetic workloads reproducing the paper's datasets (Appendix B).
+
+The paper archives real OMIM and Swiss-Prot dumps plus XMark synthetic
+data; those dumps are not redistributable, so generators reproduce the
+schemas, key specifications and measured change mixes instead (see the
+substitution notes in DESIGN.md).
+"""
+
+from .company import company_key_spec, company_version, company_versions
+from .omim import OmimChangeRates, OmimGenerator, omim_key_spec
+from .swissprot import SwissProtChangeRates, SwissProtGenerator, swissprot_key_spec
+from .xmark import REGIONS, XMarkGenerator, xmark_key_spec
+
+__all__ = [
+    "OmimChangeRates",
+    "OmimGenerator",
+    "REGIONS",
+    "SwissProtChangeRates",
+    "SwissProtGenerator",
+    "XMarkGenerator",
+    "company_key_spec",
+    "company_version",
+    "company_versions",
+    "omim_key_spec",
+    "swissprot_key_spec",
+    "xmark_key_spec",
+]

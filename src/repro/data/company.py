@@ -1,0 +1,67 @@
+"""The paper's running example: the company database of Figures 2-5.
+
+Provides the key specification of Sec. 3 and the four versions of
+Figure 2, used throughout the tests, examples and documentation.
+"""
+
+from __future__ import annotations
+
+from ..keys.keyparser import parse_key_spec
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element
+from ..xmltree.parser import parse_document
+
+COMPANY_KEY_TEXT = """
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+"""
+
+
+def company_key_spec() -> KeySpec:
+    """The key specification of the company database (Sec. 3)."""
+    return parse_key_spec(COMPANY_KEY_TEXT)
+
+
+_VERSION_1 = "<db><dept><name>finance</name></dept></db>"
+
+_VERSION_2 = (
+    "<db><dept><name>finance</name>"
+    "<emp><fn>Jane</fn><ln>Smith</ln></emp>"
+    "</dept></db>"
+)
+
+_VERSION_3 = (
+    "<db>"
+    "<dept><name>finance</name>"
+    "<emp><fn>John</fn><ln>Doe</ln><sal>90K</sal><tel>123-4567</tel></emp>"
+    "</dept>"
+    "<dept><name>marketing</name>"
+    "<emp><fn>John</fn><ln>Doe</ln></emp>"
+    "</dept>"
+    "</db>"
+)
+
+_VERSION_4 = (
+    "<db><dept><name>finance</name>"
+    "<emp><fn>John</fn><ln>Doe</ln><sal>95K</sal><tel>123-4567</tel></emp>"
+    "<emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal>"
+    "<tel>123-6789</tel><tel>112-3456</tel></emp>"
+    "</dept></db>"
+)
+
+_VERSIONS = (_VERSION_1, _VERSION_2, _VERSION_3, _VERSION_4)
+
+
+def company_version(number: int) -> Element:
+    """Version ``number`` (1-4) of the company database (Fig. 2)."""
+    if not 1 <= number <= len(_VERSIONS):
+        raise ValueError(f"Company database has versions 1-4, not {number}")
+    return parse_document(_VERSIONS[number - 1])
+
+
+def company_versions() -> list[Element]:
+    """All four versions of Figure 2, in order."""
+    return [parse_document(source) for source in _VERSIONS]

@@ -1,0 +1,162 @@
+"""An OMIM-like synthetic dataset (Appendix B.1).
+
+OMIM — On-line Mendelian Inheritance in Man — is the paper's archetype
+of a *highly accretive* curated database: a new version almost daily,
+changes overwhelmingly additions (the paper measures a
+deletion/insertion/modification ratio of roughly 0.02%/0.2%/0.03%
+between consecutive versions).  The generator reproduces the record
+schema and key structure printed in Appendix B.1 and that change mix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..keys.keyparser import parse_key_spec
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element, Text
+from . import words
+
+OMIM_KEY_TEXT = """
+(/, (ROOT, {}))
+(/ROOT, (Record, {Num}))
+(/ROOT/Record, (Title, {}))
+(/ROOT/Record, (AlternativeTitle, {\\e}))
+(/ROOT/Record, (Text, {}))
+(/ROOT/Record, (Contributors, {Name, CNtype, Date/Month, Date/Day, Date/Year}))
+(/ROOT/Record/Contributors, (Date, {}))
+(/ROOT/Record, (Creation_Date, {Name, Date/Month, Date/Day, Date/Year}))
+(/ROOT/Record/Creation_Date, (Date, {}))
+"""
+
+
+def omim_key_spec() -> KeySpec:
+    """The OMIM key specification (Appendix B.1, generated subset)."""
+    return parse_key_spec(OMIM_KEY_TEXT)
+
+
+@dataclass
+class OmimChangeRates:
+    """Per-version change mix; defaults follow Sec. 5.3's measurements."""
+
+    delete_fraction: float = 0.0002
+    insert_fraction: float = 0.002
+    modify_fraction: float = 0.0003
+
+
+class OmimGenerator:
+    """Generates a sequence of OMIM-like versions.
+
+    Usage::
+
+        generator = OmimGenerator(seed=7, initial_records=80)
+        versions = generator.generate_versions(20)
+    """
+
+    def __init__(
+        self,
+        seed: int = 2002,
+        initial_records: int = 80,
+        rates: OmimChangeRates | None = None,
+        text_sentences: int = 6,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.initial_records = initial_records
+        self.rates = rates or OmimChangeRates()
+        self.text_sentences = text_sentences
+        self._next_num = 100000
+
+    # -- record construction -------------------------------------------------
+
+    def _allocate_num(self) -> str:
+        self._next_num += self._rng.randint(1, 9)
+        return str(self._next_num)
+
+    def _date_element(self) -> Element:
+        month, day, year = words.date_parts(self._rng)
+        date = Element("Date")
+        date.append(Element("Month")).append(Text(month))
+        date.append(Element("Day")).append(Text(day))
+        date.append(Element("Year")).append(Text(year))
+        return date
+
+    def _record(self) -> Element:
+        record = Element("Record")
+        num = self._allocate_num()
+        record.append(Element("Num")).append(Text(num))
+        title = f"*{num} {words.sentence(self._rng, 4).rstrip('.').upper()}"
+        record.append(Element("Title")).append(Text(title))
+        for _ in range(self._rng.randint(0, 2)):
+            alternative = record.append(Element("AlternativeTitle"))
+            alternative.append(Text(words.sentence(self._rng, 3).rstrip(".").upper()))
+        record.append(Element("Text")).append(
+            Text(words.paragraph(self._rng, self.text_sentences))
+        )
+        seen: set[tuple] = set()
+        for _ in range(self._rng.randint(1, 3)):
+            contributor = Element("Contributors")
+            name = words.person_name(self._rng)
+            cn_type = self._rng.choice(["updated", "edited", "created"])
+            date = self._date_element()
+            signature = (name, cn_type, date.text_content())
+            if signature in seen:
+                continue
+            seen.add(signature)
+            contributor.append(Element("Name")).append(Text(name))
+            contributor.append(Element("CNtype")).append(Text(cn_type))
+            contributor.append(date)
+            record.append(contributor)
+        creation = record.append(Element("Creation_Date"))
+        creation.append(Element("Name")).append(Text(words.person_name(self._rng)))
+        creation.append(self._date_element())
+        return record
+
+    # -- version generation -------------------------------------------------------
+
+    def initial_version(self) -> Element:
+        root = Element("ROOT")
+        for _ in range(self.initial_records):
+            root.append(self._record())
+        return root
+
+    def next_version(self, previous: Element) -> Element:
+        """Apply the accretive change mix to produce the next version."""
+        version = previous.copy()
+        records = version.find_all("Record")
+        count = len(records)
+
+        deletions = self._sample(records, self.rates.delete_fraction)
+        for record in deletions:
+            version.children.remove(record)
+
+        modifications = self._sample(
+            [r for r in records if r not in deletions], self.rates.modify_fraction
+        )
+        for record in modifications:
+            text = record.find("Text")
+            if text is not None:
+                text.children = [Text(words.paragraph(self._rng, self.text_sentences))]
+
+        insert_count = max(1, round(count * self.rates.insert_fraction))
+        for _ in range(insert_count):
+            version.append(self._record())
+        return version
+
+    def generate_versions(self, count: int) -> list[Element]:
+        """The first ``count`` versions, in order."""
+        if count < 1:
+            raise ValueError("Need at least one version")
+        versions = [self.initial_version()]
+        while len(versions) < count:
+            versions.append(self.next_version(versions[-1]))
+        return versions
+
+    def _sample(self, items: list, fraction: float) -> list:
+        if not items or fraction <= 0:
+            return []
+        count = round(len(items) * fraction)
+        if count == 0:
+            # Sub-one expected counts happen probabilistically.
+            count = 1 if self._rng.random() < len(items) * fraction else 0
+        return self._rng.sample(items, min(count, len(items)))

@@ -1,0 +1,226 @@
+"""A Swiss-Prot-like synthetic dataset (Appendix B.2).
+
+Swiss-Prot is the paper's *fast-growing* dataset: versions months
+apart, each substantially larger than the last, with a measured
+deletion/insertion/modification mix of roughly 14%/26%/1.2% between
+consecutive versions (Sec. 5.3).  The generator reproduces the record
+schema and keys of Appendix B.2 (protein entries keyed by primary
+accession ``pac``) and that growth profile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..keys.keyparser import parse_key_spec
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element, Text
+from . import words
+
+SWISSPROT_KEY_TEXT = """
+(/, (ROOT, {}))
+(/ROOT, (Record, {pac}))
+(/ROOT/Record, (id, {}))
+(/ROOT/Record, (class, {}))
+(/ROOT/Record, (type, {}))
+(/ROOT/Record, (slen, {}))
+(/ROOT/Record, (mod, {date, rel, comment}))
+(/ROOT/Record, (protein, {name}))
+(/ROOT/Record/protein, (from, {\\e}))
+(/ROOT/Record/protein, (taxo, {\\e}))
+(/ROOT/Record, (References, {}))
+(/ROOT/Record/References, (Ref, {num}))
+(/ROOT/Record/References/Ref, (pos, {}))
+(/ROOT/Record/References/Ref, (comment, {\\e}))
+(/ROOT/Record/References/Ref, (author, {\\e}))
+(/ROOT/Record/References/Ref, (title, {}))
+(/ROOT/Record/References/Ref, (in, {}))
+(/ROOT/Record, (comment, {\\e}))
+(/ROOT/Record, (keywords, {}))
+(/ROOT/Record/keywords, (word, {\\e}))
+(/ROOT/Record, (feature, {name, from, to}))
+(/ROOT/Record/feature, (desc, {}))
+(/ROOT/Record, (sequence, {}))
+"""
+
+
+def swissprot_key_spec() -> KeySpec:
+    """The Swiss-Prot key specification (Appendix B.2, generated subset)."""
+    return parse_key_spec(SWISSPROT_KEY_TEXT)
+
+
+@dataclass
+class SwissProtChangeRates:
+    """Per-version change mix; defaults follow Sec. 5.3's measurements."""
+
+    delete_fraction: float = 0.14
+    insert_fraction: float = 0.26
+    modify_fraction: float = 0.012
+
+
+class SwissProtGenerator:
+    """Generates a sequence of growing Swiss-Prot-like versions."""
+
+    def __init__(
+        self,
+        seed: int = 1997,
+        initial_records: int = 60,
+        rates: SwissProtChangeRates | None = None,
+        sequence_length: int = 120,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.initial_records = initial_records
+        self.rates = rates or SwissProtChangeRates()
+        self.sequence_length = sequence_length
+        self._next_accession = 60000
+
+    # -- record construction ----------------------------------------------------
+
+    def _accession(self) -> str:
+        self._next_accession += self._rng.randint(1, 5)
+        return f"Q{self._next_accession}"
+
+    def _reference(self, number: int) -> Element:
+        ref = Element("Ref")
+        ref.append(Element("num")).append(Text(str(number)))
+        ref.append(Element("pos")).append(
+            Text(self._rng.choice(["SEQUENCE FROM N.A.", "REVISION", "STRUCTURE"]))
+        )
+        chosen_comments = {
+            self._rng.choice(["STRAIN=WISTAR", "TISSUE=TESTIS", "PLASMID"])
+            for _ in range(self._rng.randint(0, 2))
+        }
+        for comment in sorted(chosen_comments):
+            ref.append(Element("comment")).append(Text(comment))
+        authors = {words.person_name(self._rng) for _ in range(self._rng.randint(1, 3))}
+        for author in sorted(authors):
+            ref.append(Element("author")).append(Text(f"{author}."))
+        ref.append(Element("title")).append(
+            Text(f'"{words.sentence(self._rng, 7).rstrip(".")}"')
+        )
+        ref.append(Element("in")).append(
+            Text(
+                f"Nucleic Acids Res. {self._rng.randint(10, 30)}:"
+                f"{self._rng.randint(100, 999)}-{self._rng.randint(1000, 1999)}"
+                f"({self._rng.randint(1990, 2002)})"
+            )
+        )
+        return ref
+
+    def _feature(self, used: set) -> Element | None:
+        start = self._rng.randint(1, 800)
+        end = start + self._rng.randint(3, 60)
+        name = self._rng.choice(["DOMAIN", "BINDING", "ACT_SITE", "REGION"])
+        signature = (name, start, end)
+        if signature in used:
+            return None
+        used.add(signature)
+        feature = Element("feature")
+        feature.append(Element("name")).append(Text(name))
+        feature.append(Element("from")).append(Text(str(start)))
+        feature.append(Element("to")).append(Text(str(end)))
+        feature.append(Element("desc")).append(
+            Text(words.sentence(self._rng, 4).rstrip(".").upper() + ".")
+        )
+        return feature
+
+    def _record(self) -> Element:
+        record = Element("Record")
+        accession = self._accession()
+        length = self.sequence_length + self._rng.randint(-40, 200)
+        record.append(Element("pac")).append(Text(accession))
+        record.append(Element("id")).append(
+            Text(f"{words.random_token(self._rng, 4).upper()}_RAT")
+        )
+        record.append(Element("class")).append(Text("STANDARD"))
+        record.append(Element("type")).append(Text("PRT"))
+        record.append(Element("slen")).append(Text(str(length)))
+        mod = record.append(Element("mod"))
+        month, day, year = words.date_parts(self._rng)
+        mod.append(Element("date")).append(
+            Text(f"{int(day):02d}-{int(month):02d}-{year}")
+        )
+        mod.append(Element("rel")).append(Text(str(self._rng.randint(20, 45))))
+        mod.append(Element("comment")).append(Text("Created"))
+        protein = record.append(Element("protein"))
+        protein.append(Element("name")).append(
+            Text(f"{length} KDA PROTEIN (EC 6.3.2.-).")
+        )
+        protein.append(Element("from")).append(Text("Rattus norvegicus (Rat)."))
+        protein.append(Element("taxo")).append(Text("Eukaryota"))
+        references = record.append(Element("References"))
+        for number in range(1, self._rng.randint(2, 4)):
+            references.append(self._reference(number))
+        for _ in range(self._rng.randint(0, 2)):
+            record.append(Element("comment")).append(
+                Text(words.paragraph(self._rng, 2).upper())
+            )
+        keywords = record.append(Element("keywords"))
+        chosen = {
+            self._rng.choice(
+                ["Ubiquitin conjugation", "Ligase", "Kinase", "Membrane", "Repeat"]
+            )
+            for _ in range(self._rng.randint(1, 3))
+        }
+        for word in sorted(chosen):
+            keywords.append(Element("word")).append(Text(word))
+        used_features: set = set()
+        for _ in range(self._rng.randint(1, 4)):
+            feature = self._feature(used_features)
+            if feature is not None:
+                record.append(feature)
+        sequence = record.append(Element("sequence"))
+        sequence.append(Text(words.protein_sequence(self._rng, length)))
+        return record
+
+    # -- version generation -----------------------------------------------------------
+
+    def initial_version(self) -> Element:
+        root = Element("ROOT")
+        for _ in range(self.initial_records):
+            root.append(self._record())
+        return root
+
+    def next_version(self, previous: Element) -> Element:
+        version = previous.copy()
+        records = version.find_all("Record")
+        count = len(records)
+
+        deletions = self._sample(records, self.rates.delete_fraction)
+        for record in deletions:
+            version.children.remove(record)
+
+        survivors = [r for r in records if r not in deletions]
+        for record in self._sample(survivors, self.rates.modify_fraction):
+            # Curated edits touch the free-text comment or a feature desc.
+            comment = record.find("comment")
+            if comment is not None:
+                comment.children = [Text(words.paragraph(self._rng, 2).upper())]
+            else:
+                feature = record.find("feature")
+                if feature is not None and feature.find("desc") is not None:
+                    feature.find("desc").children = [
+                        Text(words.sentence(self._rng, 4).rstrip(".").upper() + ".")
+                    ]
+
+        insert_count = max(1, round(count * self.rates.insert_fraction))
+        for _ in range(insert_count):
+            version.append(self._record())
+        return version
+
+    def generate_versions(self, count: int) -> list[Element]:
+        if count < 1:
+            raise ValueError("Need at least one version")
+        versions = [self.initial_version()]
+        while len(versions) < count:
+            versions.append(self.next_version(versions[-1]))
+        return versions
+
+    def _sample(self, items: list, fraction: float) -> list:
+        if not items or fraction <= 0:
+            return []
+        count = round(len(items) * fraction)
+        if count == 0:
+            count = 1 if self._rng.random() < len(items) * fraction else 0
+        return self._rng.sample(items, min(count, len(items)))

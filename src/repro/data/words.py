@@ -1,0 +1,75 @@
+"""Deterministic pseudo-natural text for the synthetic datasets.
+
+The generators need text that compresses like real curated prose and
+protein sequences — neither random bytes (incompressible) nor constant
+strings (trivially compressible).  A fixed vocabulary sampled with a
+seeded RNG gives both properties and full reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+
+VOCABULARY = (
+    "protein gene sequence factor replication disorder inheritance domain "
+    "expression mutation receptor kinase binding transcription chromosome "
+    "syndrome clinical analysis variant observed reported described region "
+    "terminal acid residue subunit complex pathway membrane nuclear "
+    "phenotype dominant recessive linkage marker patient family study "
+    "evidence function structure homology conserved species human mouse "
+    "rat yeast cell tissue growth signal response activity regulation"
+).split()
+
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+NUCLEOTIDES = "ACGT"
+
+FIRST_NAMES = (
+    "Victor Paul Jennifer Anna Carol David Erik Fiona George Hanna "
+    "Igor Julia Kenji Laura Marco Nadia Oscar Petra Quentin Rosa"
+).split()
+
+LAST_NAMES = (
+    "McKusick Converse Macke Smith Jones Tanaka Mueller Rehbein Garcia "
+    "Kim Olsen Petrov Rossi Silva Novak Berg Horvat Dubois Costa Mori"
+).split()
+
+
+def sentence(rng: random.Random, words: int) -> str:
+    """A pseudo-sentence of the given word count."""
+    chosen = [rng.choice(VOCABULARY) for _ in range(max(1, words))]
+    chosen[0] = chosen[0].capitalize()
+    return " ".join(chosen) + "."
+
+
+def paragraph(rng: random.Random, sentences: int, words_per_sentence: int = 9) -> str:
+    """Several sentences joined; the body of Text/comment fields."""
+    return " ".join(
+        sentence(rng, rng.randint(words_per_sentence - 3, words_per_sentence + 3))
+        for _ in range(max(1, sentences))
+    )
+
+
+def protein_sequence(rng: random.Random, length: int) -> str:
+    """An amino-acid string in Swiss-Prot's blocked layout."""
+    residues = "".join(rng.choice(AMINO_ACIDS) for _ in range(length))
+    blocks = [residues[i : i + 10] for i in range(0, len(residues), 10)]
+    return " ".join(blocks)
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def date_parts(rng: random.Random) -> tuple[str, str, str]:
+    """(month, day, year) strings for Date elements."""
+    return (
+        str(rng.randint(1, 12)),
+        str(rng.randint(1, 28)),
+        str(rng.randint(1990, 2002)),
+    )
+
+
+def random_token(rng: random.Random, length: int = 8) -> str:
+    """A random alphanumeric token (the paper's "random string" edits)."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for _ in range(length))

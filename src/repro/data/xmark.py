@@ -1,0 +1,367 @@
+"""An XMark-like auction dataset (Schmidt et al. 2002; Appendix B.3).
+
+XMark is the paper's synthetic workload: auction-site data (regional
+items, people, open auctions) whose change behaviour is driven by a
+*change simulator* rather than curation.  This module reproduces the
+schema subset and key specification of Appendix B.3, plus the two
+simulators of Sec. 5.3:
+
+* :meth:`XMarkGenerator.apply_random_changes` — delete n% of record
+  elements, insert the same number of fresh ones, and modify string
+  values of n% of elements to random strings (Figs. 13, C.1);
+* :meth:`XMarkGenerator.apply_key_mutation` — the worst case for
+  key-based archiving: mutate part of the *key value* of n% of
+  elements, which the archiver must treat as a deletion plus an
+  insertion of a highly similar element (Figs. 14, C.2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..keys.keyparser import parse_key_spec
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element, Text
+from . import words
+
+REGIONS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+
+XMARK_KEY_TEXT = """
+(/, (site, {}))
+(/site, (regions, {}))
+(/site, (categories, {}))
+(/site, (people, {}))
+(/site, (open_auctions, {}))
+(/site/regions, (africa, {}))
+(/site/regions, (asia, {}))
+(/site/regions, (australia, {}))
+(/site/regions, (europe, {}))
+(/site/regions, (namerica, {}))
+(/site/regions, (samerica, {}))
+(/site/regions/_, (item, {id}))
+(/site/regions/_/item, (location, {}))
+(/site/regions/_/item, (quantity, {}))
+(/site/regions/_/item, (name, {}))
+(/site/regions/_/item, (payment, {}))
+(/site/regions/_/item, (description, {}))
+(/site/regions/_/item, (shipping, {}))
+(/site/regions/_/item, (incategory, {category}))
+(/site/regions/_/item, (mailbox, {}))
+(/site/regions/_/item/mailbox, (mail, {from, to, date}))
+(/site/regions/_/item/mailbox/mail, (text, {}))
+(/site/categories, (category, {id}))
+(/site/categories/category, (name, {}))
+(/site/categories/category, (description, {\\e}))
+(/site/people, (person, {id}))
+(/site/people/person, (name, {}))
+(/site/people/person, (emailaddress, {\\e}))
+(/site/people/person, (phone, {\\e}))
+(/site/open_auctions, (open_auction, {id}))
+(/site/open_auctions/open_auction, (initial, {}))
+(/site/open_auctions/open_auction, (reserve, {\\e}))
+(/site/open_auctions/open_auction, (bidder, {date, time, personref/person, increase}))
+(/site/open_auctions/open_auction/bidder, (personref, {}))
+(/site/open_auctions/open_auction, (current, {}))
+(/site/open_auctions/open_auction, (itemref, {}))
+(/site/open_auctions/open_auction/itemref, (item, {}))
+(/site/open_auctions/open_auction, (seller, {}))
+(/site/open_auctions/open_auction/seller, (person, {}))
+(/site/open_auctions/open_auction, (annotation, {}))
+(/site/open_auctions/open_auction/annotation, (author, {}))
+(/site/open_auctions/open_auction/annotation/author, (person, {}))
+(/site/open_auctions/open_auction/annotation, (description, {}))
+(/site/open_auctions/open_auction/annotation, (happiness, {}))
+(/site/open_auctions/open_auction, (quantity, {}))
+(/site/open_auctions/open_auction, (type, {}))
+"""
+
+
+def xmark_key_spec() -> KeySpec:
+    """The XMark key specification (Appendix B.3, generated subset)."""
+    return parse_key_spec(XMARK_KEY_TEXT, wildcards={"_": REGIONS})
+
+
+class XMarkGenerator:
+    """Generates an XMark-like site document and simulated change."""
+
+    def __init__(
+        self,
+        seed: int = 11,
+        items: int = 120,
+        people: int = 60,
+        auctions: int = 40,
+        categories: int = 12,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.items = items
+        self.people = people
+        self.auctions = auctions
+        self.categories = categories
+        self._next_id = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._next_id += 1
+        return f"{prefix}{self._next_id}"
+
+    # -- record builders ------------------------------------------------------
+
+    def _item(self) -> Element:
+        item = Element("item")
+        item.set_attribute("id", self._fresh("item"))
+        item.append(Element("location")).append(
+            Text(self._rng.choice(["United States", "Germany", "Japan", "Moldova, Republic Of"]))
+        )
+        item.append(Element("quantity")).append(Text(str(self._rng.randint(1, 9))))
+        item.append(Element("name")).append(
+            Text(words.sentence(self._rng, 2).rstrip("."))
+        )
+        item.append(Element("payment")).append(
+            Text(self._rng.choice(["Money order, Creditcard, Cash", "Personal Check", "Cash"]))
+        )
+        description = item.append(Element("description"))
+        description.append(Element("text")).append(
+            Text(words.paragraph(self._rng, 3))
+        )
+        item.append(Element("shipping")).append(
+            Text("Will ship only within country, Buyer pays fixed shipping charges")
+        )
+        used = set()
+        for _ in range(self._rng.randint(1, 3)):
+            category = f"category{self._rng.randint(1, self.categories)}"
+            if category in used:
+                continue
+            used.add(category)
+            incategory = item.append(Element("incategory"))
+            incategory.set_attribute("category", category)
+        if self._rng.random() < 0.5:
+            mailbox = item.append(Element("mailbox"))
+            seen = set()
+            for _ in range(self._rng.randint(1, 2)):
+                sender = words.person_name(self._rng)
+                receiver = words.person_name(self._rng)
+                month, day, year = words.date_parts(self._rng)
+                date = f"{int(month):02d}/{int(day):02d}/{year}"
+                if (sender, receiver, date) in seen:
+                    continue
+                seen.add((sender, receiver, date))
+                mail = mailbox.append(Element("mail"))
+                mail.append(Element("from")).append(Text(sender))
+                mail.append(Element("to")).append(Text(receiver))
+                mail.append(Element("date")).append(Text(date))
+                mail.append(Element("text")).append(
+                    Text(words.paragraph(self._rng, 2))
+                )
+        return item
+
+    def _category(self) -> Element:
+        category = Element("category")
+        category.set_attribute("id", self._fresh("category"))
+        category.append(Element("name")).append(
+            Text(words.sentence(self._rng, 2).rstrip("."))
+        )
+        category.append(Element("description")).append(
+            Text(words.paragraph(self._rng, 1))
+        )
+        return category
+
+    def _person(self) -> Element:
+        person = Element("person")
+        person.set_attribute("id", self._fresh("person"))
+        name = words.person_name(self._rng)
+        person.append(Element("name")).append(Text(name))
+        person.append(Element("emailaddress")).append(
+            Text(f"mailto:{name.split()[1]}@{self._rng.choice(['gmu.edu', 'cohera.com', 'acm.org'])}")
+        )
+        if self._rng.random() < 0.6:
+            person.append(Element("phone")).append(
+                Text(f"+{self._rng.randint(1, 99)} ({self._rng.randint(100, 999)}) {self._rng.randint(1000000, 9999999)}")
+            )
+        return person
+
+    def _open_auction(self, item_ids: list[str], person_ids: list[str]) -> Element:
+        auction = Element("open_auction")
+        auction.set_attribute("id", self._fresh("open_auction"))
+        auction.append(Element("initial")).append(
+            Text(f"{self._rng.randint(1, 300)}.{self._rng.randint(0, 99):02d}")
+        )
+        if self._rng.random() < 0.4:
+            auction.append(Element("reserve")).append(
+                Text(f"{self._rng.randint(50, 999)}.00")
+            )
+        seen = set()
+        for _ in range(self._rng.randint(0, 3)):
+            month, day, year = words.date_parts(self._rng)
+            date = f"{int(month):02d}/{int(day):02d}/{year}"
+            time = f"{self._rng.randint(0, 23):02d}:{self._rng.randint(0, 59):02d}:{self._rng.randint(0, 59):02d}"
+            person = self._rng.choice(person_ids)
+            increase = f"{self._rng.randint(1, 50)}.00"
+            if (date, time, person, increase) in seen:
+                continue
+            seen.add((date, time, person, increase))
+            bidder = auction.append(Element("bidder"))
+            bidder.append(Element("date")).append(Text(date))
+            bidder.append(Element("time")).append(Text(time))
+            personref = bidder.append(Element("personref"))
+            personref.set_attribute("person", person)
+            bidder.append(Element("increase")).append(Text(increase))
+        auction.append(Element("current")).append(
+            Text(f"{self._rng.randint(1, 999)}.00")
+        )
+        itemref = auction.append(Element("itemref"))
+        itemref.set_attribute("item", self._rng.choice(item_ids))
+        seller = auction.append(Element("seller"))
+        seller.set_attribute("person", self._rng.choice(person_ids))
+        annotation = auction.append(Element("annotation"))
+        author = annotation.append(Element("author"))
+        author.set_attribute("person", self._rng.choice(person_ids))
+        description = annotation.append(Element("description"))
+        description.append(Text(words.paragraph(self._rng, 2)))
+        annotation.append(Element("happiness")).append(
+            Text(str(self._rng.randint(1, 10)))
+        )
+        auction.append(Element("quantity")).append(Text(str(self._rng.randint(1, 5))))
+        auction.append(Element("type")).append(
+            Text(self._rng.choice(["Regular", "Featured", "Dutch"]))
+        )
+        return auction
+
+    # -- site construction ------------------------------------------------------------
+
+    def initial_version(self) -> Element:
+        site = Element("site")
+        regions = site.append(Element("regions"))
+        region_elements = {name: regions.append(Element(name)) for name in REGIONS}
+        item_ids: list[str] = []
+        for _ in range(self.items):
+            item = self._item()
+            item_ids.append(item.get_attribute("id"))
+            region_elements[self._rng.choice(REGIONS)].append(item)
+        categories = site.append(Element("categories"))
+        for _ in range(self.categories):
+            categories.append(self._category())
+        people = site.append(Element("people"))
+        person_ids: list[str] = []
+        for _ in range(self.people):
+            person = self._person()
+            person_ids.append(person.get_attribute("id"))
+            people.append(person)
+        open_auctions = site.append(Element("open_auctions"))
+        for _ in range(self.auctions):
+            open_auctions.append(self._open_auction(item_ids, person_ids))
+        return site
+
+    # -- record plumbing shared by the simulators ---------------------------------------
+
+    def _records(self, site: Element) -> list[tuple[Element, Element]]:
+        """(container, record) pairs for every record-level element."""
+        records: list[tuple[Element, Element]] = []
+        regions = site.find("regions")
+        if regions is not None:
+            for region in regions.element_children():
+                for item in region.find_all("item"):
+                    records.append((region, item))
+        people = site.find("people")
+        if people is not None:
+            for person in people.find_all("person"):
+                records.append((people, person))
+        open_auctions = site.find("open_auctions")
+        if open_auctions is not None:
+            for auction in open_auctions.find_all("open_auction"):
+                records.append((open_auctions, auction))
+        return records
+
+    def _current_ids(self, site: Element, tag: str) -> list[str]:
+        ids = [
+            node.get_attribute("id")
+            for node in site.iter_elements()
+            if node.tag == tag and node.get_attribute("id")
+        ]
+        return ids or [f"{tag}0"]
+
+    def _fresh_record(self, site: Element, container: Element) -> Element:
+        if container.tag in REGIONS:
+            return self._item()
+        if container.tag == "people":
+            return self._person()
+        return self._open_auction(
+            self._current_ids(site, "item"), self._current_ids(site, "person")
+        )
+
+    _MUTABLE_TEXT_TAGS = {
+        "location",
+        "name",
+        "payment",
+        "shipping",
+        "text",
+        "emailaddress",
+        "phone",
+        "current",
+        "initial",
+        "quantity",
+        "happiness",
+        "description",
+    }
+
+    def _mutable_text_nodes(self, record: Element) -> list[Element]:
+        nodes = []
+        for node in record.iter_elements():
+            if node.tag in self._MUTABLE_TEXT_TAGS and node.children and all(
+                isinstance(child, Text) for child in node.children
+            ):
+                nodes.append(node)
+        return nodes
+
+    # -- the two change simulators of Sec. 5.3 --------------------------------------------
+
+    def apply_random_changes(self, site: Element, percent: float) -> Element:
+        """n% deletions + n% insertions + n% string modifications."""
+        version = site.copy()
+        records = self._records(version)
+        count = max(1, round(len(records) * percent / 100.0))
+
+        for container, record in self._rng.sample(records, min(count, len(records))):
+            container.children.remove(record)
+
+        survivors = self._records(version)
+        for _ in range(count):
+            container, _ = self._rng.choice(survivors)
+            container.append(self._fresh_record(version, container))
+
+        for container, record in self._rng.sample(
+            survivors, min(count, len(survivors))
+        ):
+            targets = self._mutable_text_nodes(record)
+            if targets:
+                target = self._rng.choice(targets)
+                target.children = [Text(words.random_token(self._rng, 12))]
+        return version
+
+    def apply_key_mutation(self, site: Element, percent: float) -> Element:
+        """Worst case: mutate the key (id) of n% of record elements.
+
+        The record's content is otherwise untouched — to a line diff the
+        change is one line; to the key-based archiver it is the death of
+        one element and the birth of a highly similar one.
+        """
+        version = site.copy()
+        records = self._records(version)
+        count = max(1, round(len(records) * percent / 100.0))
+        for _, record in self._rng.sample(records, min(count, len(records))):
+            record.set_attribute("id", self._fresh(record.tag))
+        return version
+
+    # -- version sequences -------------------------------------------------------------------
+
+    def versions_random(self, count: int, percent: float) -> list[Element]:
+        """Fig. 13 workload: ``count`` versions at the given change ratio."""
+        versions = [self.initial_version()]
+        while len(versions) < count:
+            versions.append(self.apply_random_changes(versions[-1], percent))
+        return versions
+
+    def versions_worst_case(self, count: int, percent: float) -> list[Element]:
+        """Fig. 14 workload: key-mutation versions."""
+        versions = [self.initial_version()]
+        while len(versions) < count:
+            versions.append(self.apply_key_mutation(versions[-1], percent))
+        return versions

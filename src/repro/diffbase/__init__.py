@@ -1,0 +1,53 @@
+"""Diff-based competitors (Sec. 5) and the SCCS weave (Sec. 8).
+
+From-scratch Myers O(ND) line diff, ed-style edit scripts (the ``diff``
+output format of Fig. 1), incremental and cumulative delta
+repositories, and an SCCS-style weave archiver.
+"""
+
+from .editscript import (
+    EditCommand,
+    EditScriptError,
+    apply_script,
+    apply_text,
+    diff_text,
+    make_script,
+    parse_script,
+    render_script,
+    script_size,
+)
+from .myers import OpCode, common_lines, diff_lines, edit_distance
+from .repository import (
+    CumulativeDiffRepository,
+    FullCopyRepository,
+    IncrementalDiffRepository,
+)
+from .sccs import SCCSWeave, WeaveLine
+from .treediff import TreeDiffError, apply_tree_delta, tree_delta_size, tree_diff
+from .checkpoint import CheckpointedDiffRepository
+
+__all__ = [
+    "CumulativeDiffRepository",
+    "EditCommand",
+    "EditScriptError",
+    "FullCopyRepository",
+    "IncrementalDiffRepository",
+    "CheckpointedDiffRepository",
+    "OpCode",
+    "TreeDiffError",
+    "apply_tree_delta",
+    "tree_delta_size",
+    "tree_diff",
+    "SCCSWeave",
+    "WeaveLine",
+    "apply_script",
+    "apply_text",
+    "common_lines",
+    "diff_lines",
+    "diff_text",
+    "edit_distance",
+    "make_script",
+    "parse_script",
+    "render_script",
+    "script_size",
+]

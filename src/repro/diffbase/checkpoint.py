@@ -1,0 +1,79 @@
+"""Checkpointed delta repositories (Sec. 9, open issues).
+
+The conclusion proposes comparing against "delta-based repositories
+where checkpointing may occur periodically: ... an entire version of
+data is stored as a whole for every kth version".  This bounds
+retrieval to at most ``k - 1`` delta applications at the cost of
+storing periodic full copies — the classic space/retrieval-time dial
+between the incremental (k = ∞) and full-copy (k = 1) extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xmltree.model import Element
+from ..xmltree.parser import parse_document
+from ..xmltree.serializer import to_pretty_string
+from .editscript import apply_script, make_script, parse_script, render_script
+
+
+class CheckpointedDiffRepository:
+    """V1 + deltas, with a full snapshot every ``interval`` versions."""
+
+    def __init__(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError("Checkpoint interval must be >= 1")
+        self.interval = interval
+        # One entry per version: ("full", text) or ("delta", script).
+        self._entries: list[tuple[str, str]] = []
+        self._latest_text = ""
+
+    @property
+    def version_count(self) -> int:
+        return len(self._entries)
+
+    def add_version(self, document: Optional[Element]) -> None:
+        text = to_pretty_string(document) if document is not None else ""
+        index = len(self._entries)
+        if index % self.interval == 0:
+            self._entries.append(("full", text))
+        else:
+            script = render_script(
+                make_script(self._latest_text.split("\n"), text.split("\n"))
+            )
+            self._entries.append(("delta", script))
+        self._latest_text = text
+
+    def retrieve(self, version: int) -> Optional[Element]:
+        if not 1 <= version <= len(self._entries):
+            raise IndexError(
+                f"Version {version} not stored (have 1..{len(self._entries)})"
+            )
+        index = version - 1
+        checkpoint = (index // self.interval) * self.interval
+        kind, payload = self._entries[checkpoint]
+        assert kind == "full"
+        lines = payload.split("\n")
+        for position in range(checkpoint + 1, index + 1):
+            kind, payload = self._entries[position]
+            assert kind == "delta"
+            lines = apply_script(lines, parse_script(payload))
+        text = "\n".join(lines)
+        return parse_document(text) if text.strip() else None
+
+    def applications_for(self, version: int) -> int:
+        """Delta applications retrieval needs: at most interval - 1."""
+        if not 1 <= version <= len(self._entries):
+            raise IndexError(f"Version {version} not stored")
+        index = version - 1
+        return index - (index // self.interval) * self.interval
+
+    def total_bytes(self) -> int:
+        return sum(len(payload.encode("utf-8")) for _, payload in self._entries)
+
+    def pieces(self) -> list[str]:
+        return [payload for _, payload in self._entries]
+
+    def checkpoint_count(self) -> int:
+        return sum(1 for kind, _ in self._entries if kind == "full")

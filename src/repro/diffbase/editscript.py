@@ -1,0 +1,178 @@
+"""ed-style edit scripts — the output format of ``unix diff`` (Fig. 1).
+
+The paper stores deltas as the output of ``diff -d``: commands like
+``2,3c`` followed by replacement lines (its Fig. 1 shows exactly this
+form).  This module renders Myers opcodes into that format, measures the
+script's byte size (the quantity every storage experiment plots), and
+applies scripts forward to reconstruct versions.
+
+Command syntax (classic ed diff, as consumed by ``patch -e``):
+
+* ``NaM`` / ``Na`` — append the following lines after line ``N`` of the
+  old file;
+* ``N,McP`` / ``Nc`` — change old lines ``N..M`` to the following lines;
+* ``N,Md`` / ``Nd`` — delete old lines ``N..M``.
+
+We emit the terse form (``2,3c`` + lines), matching Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .myers import OpCode, diff_lines
+
+
+@dataclass(frozen=True)
+class EditCommand:
+    """One edit-script command."""
+
+    kind: str  # 'a' (append), 'c' (change), 'd' (delete)
+    a_start: int  # 1-based inclusive, per ed conventions
+    a_end: int
+    lines: tuple[str, ...] = ()
+
+
+class EditScriptError(ValueError):
+    """Raised when a script cannot be parsed or applied."""
+
+
+def make_script(old: Sequence[str], new: Sequence[str]) -> list[EditCommand]:
+    """Shortest edit script between two line sequences."""
+    ops = diff_lines(old, new)
+    commands: list[EditCommand] = []
+    index = 0
+    while index < len(ops):
+        op = ops[index]
+        if op.kind == "equal":
+            index += 1
+            continue
+        if (
+            op.kind == "delete"
+            and index + 1 < len(ops)
+            and ops[index + 1].kind == "insert"
+            and ops[index + 1].a_start == op.a_end
+        ):
+            insert = ops[index + 1]
+            commands.append(
+                EditCommand(
+                    kind="c",
+                    a_start=op.a_start + 1,
+                    a_end=op.a_end,
+                    lines=tuple(new[insert.b_start : insert.b_end]),
+                )
+            )
+            index += 2
+            continue
+        if op.kind == "delete":
+            commands.append(
+                EditCommand(kind="d", a_start=op.a_start + 1, a_end=op.a_end)
+            )
+        else:  # insert
+            commands.append(
+                EditCommand(
+                    kind="a",
+                    a_start=op.a_start,  # append *after* this old line
+                    a_end=op.a_start,
+                    lines=tuple(new[op.b_start : op.b_end]),
+                )
+            )
+        index += 1
+    return commands
+
+
+def render_script(commands: list[EditCommand]) -> str:
+    """Render commands in the terse ``2,3c`` form of Fig. 1."""
+    parts: list[str] = []
+    for command in commands:
+        if command.a_start == command.a_end or command.kind == "a":
+            address = str(command.a_start)
+        else:
+            address = f"{command.a_start},{command.a_end}"
+        parts.append(f"{address}{command.kind}")
+        parts.extend(command.lines)
+        if command.kind in ("a", "c"):
+            parts.append(".")
+    return "\n".join(parts) + ("\n" if parts else "")
+
+
+def parse_script(text: str) -> list[EditCommand]:
+    """Parse a script previously produced by :func:`render_script`."""
+    commands: list[EditCommand] = []
+    lines = text.split("\n")
+    index = 0
+    while index < len(lines):
+        header = lines[index]
+        if not header:
+            index += 1
+            continue
+        kind = header[-1]
+        if kind not in "acd":
+            raise EditScriptError(f"Bad command header {header!r}")
+        address = header[:-1]
+        try:
+            if "," in address:
+                start_text, end_text = address.split(",", 1)
+                a_start, a_end = int(start_text), int(end_text)
+            else:
+                a_start = a_end = int(address)
+        except ValueError as err:
+            raise EditScriptError(f"Bad command address in {header!r}") from err
+        index += 1
+        body: list[str] = []
+        if kind in ("a", "c"):
+            while index < len(lines) and lines[index] != ".":
+                body.append(lines[index])
+                index += 1
+            if index >= len(lines):
+                raise EditScriptError(f"Unterminated {kind} command at line {a_start}")
+            index += 1  # consume the '.'
+        commands.append(
+            EditCommand(kind=kind, a_start=a_start, a_end=a_end, lines=tuple(body))
+        )
+    return commands
+
+
+def apply_script(old: Sequence[str], commands: list[EditCommand]) -> list[str]:
+    """Apply a forward script to ``old``, producing the new line list."""
+    result: list[str] = []
+    cursor = 0  # 0-based index into old
+    for command in commands:
+        if command.kind == "a":
+            take = command.a_start  # append after old line N (1-based)
+            if take < cursor:
+                raise EditScriptError("Script commands out of order")
+            result.extend(old[cursor:take])
+            result.extend(command.lines)
+            cursor = take
+        else:  # c or d consume old lines a_start..a_end
+            start = command.a_start - 1
+            if start < cursor:
+                raise EditScriptError("Script commands out of order")
+            result.extend(old[cursor:start])
+            cursor = command.a_end
+            if cursor > len(old):
+                raise EditScriptError(
+                    f"Command {command.kind} addresses line {command.a_end}, "
+                    f"but the file has {len(old)} lines"
+                )
+            if command.kind == "c":
+                result.extend(command.lines)
+    result.extend(old[cursor:])
+    return result
+
+
+def diff_text(old: str, new: str) -> str:
+    """Convenience: edit script between two newline-joined texts."""
+    return render_script(make_script(old.split("\n"), new.split("\n")))
+
+
+def apply_text(old: str, script: str) -> str:
+    """Convenience: apply a rendered script to a text."""
+    return "\n".join(apply_script(old.split("\n"), parse_script(script)))
+
+
+def script_size(old: Sequence[str], new: Sequence[str]) -> int:
+    """Byte size of the rendered shortest edit script (UTF-8)."""
+    return len(render_script(make_script(old, new)).encode("utf-8"))

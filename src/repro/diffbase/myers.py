@@ -1,0 +1,174 @@
+"""Myers' O(ND) shortest-edit-script algorithm (Myers 1986).
+
+This is the engine behind ``unix diff``; the paper runs ``diff -d`` to
+produce the smallest possible edit scripts for its delta repositories,
+so a faithful baseline needs the same minimal-script guarantee.
+
+:func:`diff_lines` returns a list of opcodes; :mod:`.editscript` turns
+them into ed-style scripts, and the SCCS weave consumes them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class OpCode:
+    """One run of a diff: ``kind`` is ``'equal'``, ``'delete'`` or
+    ``'insert'``; ranges are half-open indexes into the two sequences."""
+
+    kind: str
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+
+
+def diff_lines(a: Sequence[str], b: Sequence[str]) -> list[OpCode]:
+    """Shortest edit script between two line sequences.
+
+    Runs Myers' greedy algorithm with the standard common-prefix/suffix
+    reduction.  The result is minimal in the number of inserted plus
+    deleted lines (what ``diff -d`` optimizes).
+    """
+    prefix = 0
+    limit = min(len(a), len(b))
+    while prefix < limit and a[prefix] == b[prefix]:
+        prefix += 1
+    suffix = 0
+    while (
+        suffix < limit - prefix
+        and a[len(a) - 1 - suffix] == b[len(b) - 1 - suffix]
+    ):
+        suffix += 1
+
+    # Intern lines as integers: the O(ND) inner loop then compares ints
+    # rather than strings, which matters on the experiments' large files.
+    intern: dict[str, int] = {}
+    core_a = [
+        intern.setdefault(line, len(intern)) for line in a[prefix : len(a) - suffix]
+    ]
+    core_b = [
+        intern.setdefault(line, len(intern)) for line in b[prefix : len(b) - suffix]
+    ]
+    steps = _myers_steps(core_a, core_b)
+
+    ops: list[OpCode] = []
+    ax = bx = 0
+
+    def emit(kind: str, a_len: int, b_len: int) -> None:
+        nonlocal ax, bx
+        op = OpCode(kind, prefix + ax, prefix + ax + a_len, prefix + bx, prefix + bx + b_len)
+        ax += a_len
+        bx += b_len
+        if ops and ops[-1].kind == kind:
+            last = ops[-1]
+            ops[-1] = OpCode(kind, last.a_start, op.a_end, last.b_start, op.b_end)
+        else:
+            ops.append(op)
+
+    if prefix:
+        ops.append(OpCode("equal", 0, prefix, 0, prefix))
+    for kind in steps:
+        if kind == "equal":
+            emit("equal", 1, 1)
+        elif kind == "delete":
+            emit("delete", 1, 0)
+        else:
+            emit("insert", 0, 1)
+    if suffix:
+        start_a = len(a) - suffix
+        start_b = len(b) - suffix
+        if ops and ops[-1].kind == "equal" and ops[-1].a_end == start_a:
+            last = ops[-1]
+            ops[-1] = OpCode("equal", last.a_start, len(a), last.b_start, len(b))
+        else:
+            ops.append(OpCode("equal", start_a, len(a), start_b, len(b)))
+    return ops
+
+
+def _myers_steps(a: list[int], b: list[int]) -> list[str]:
+    """Unit steps ('equal' / 'delete' / 'insert') of a shortest script."""
+    n, m = len(a), len(b)
+    if n == 0:
+        return ["insert"] * m
+    if m == 0:
+        return ["delete"] * n
+
+    max_d = n + m
+    offset = max_d
+    v = [0] * (2 * max_d + 1)
+    # Per-depth snapshots keep only the active band |k| <= d + 1, so the
+    # trace costs O(D^2) rather than O(D * (N + M)) memory.
+    trace: list[tuple[int, list[int]]] = []
+    depth = 0
+    found = False
+    for d in range(max_d + 1):
+        band_start = max(0, offset - d - 1)
+        trace.append((band_start, v[band_start : offset + d + 2]))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[offset + k - 1] < v[offset + k + 1]):
+                x = v[offset + k + 1]  # downward move: insert from b
+            else:
+                x = v[offset + k - 1] + 1  # rightward move: delete from a
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[offset + k] = x
+            if x >= n and y >= m:
+                depth = d
+                found = True
+                break
+        if found:
+            break
+
+    # Backtrack from (n, m) using the per-depth snapshots of v.
+    steps_reversed: list[str] = []
+    x, y = n, m
+    for d in range(depth, 0, -1):
+        band_start, v_prev = trace[d]
+        local = offset - band_start  # maps k=0 to its snapshot index
+        k = x - y
+        if k == -d or (k != d and v_prev[local + k - 1] < v_prev[local + k + 1]):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = v_prev[local + prev_k]
+        prev_y = prev_x - prev_k
+        while x > prev_x and y > prev_y:  # snake: matched lines
+            steps_reversed.append("equal")
+            x -= 1
+            y -= 1
+        if x == prev_x:
+            steps_reversed.append("insert")
+            y -= 1
+        else:
+            steps_reversed.append("delete")
+            x -= 1
+        assert (x, y) == (prev_x, prev_y)
+    while x > 0 and y > 0:  # depth-0 snake
+        steps_reversed.append("equal")
+        x -= 1
+        y -= 1
+    assert x == 0 and y == 0, "backtrack did not reach the origin"
+    steps_reversed.reverse()
+    return steps_reversed
+
+
+def edit_distance(a: Sequence[str], b: Sequence[str]) -> int:
+    """Number of inserted plus deleted lines in the shortest script."""
+    return sum(
+        (op.a_end - op.a_start) + (op.b_end - op.b_start)
+        for op in diff_lines(a, b)
+        if op.kind != "equal"
+    )
+
+
+def common_lines(a: Sequence[str], b: Sequence[str]) -> int:
+    """Number of matched lines in the shortest script (the LCS length)."""
+    return sum(
+        op.a_end - op.a_start for op in diff_lines(a, b) if op.kind == "equal"
+    )

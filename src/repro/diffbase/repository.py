@@ -1,0 +1,160 @@
+"""Delta-based version repositories — the paper's competitors (Sec. 5).
+
+Two variants, both storing the first version in full plus line-diff
+edit scripts:
+
+* :class:`IncrementalDiffRepository` — ``V1 + diff(V1,V2) + diff(V2,V3)
+  + ...`` (the "incremental diff" approach; CVS-style, modulo direction,
+  which the paper argues is size-equivalent);
+* :class:`CumulativeDiffRepository` — ``V1 + diff(V1,V2) + diff(V1,V3)
+  + ...``; any version is one script application away, but storage grows
+  quadratically (Sec. 5.2).
+
+Documents are stored in the paper's line-oriented serialization, so the
+line diffs are as compact as ``diff -d`` on the paper's files.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xmltree.model import Element
+from ..xmltree.parser import parse_document
+from ..xmltree.serializer import to_pretty_string
+from .editscript import apply_script, make_script, parse_script, render_script
+
+_EMPTY_MARKER = ""  # an empty version serializes to the empty text
+
+
+def _serialize(document: Optional[Element]) -> str:
+    if document is None:
+        return _EMPTY_MARKER
+    return to_pretty_string(document)
+
+
+def _deserialize(text: str) -> Optional[Element]:
+    if not text.strip():
+        return None
+    return parse_document(text)
+
+
+class _DiffRepositoryBase:
+    """Shared bookkeeping: stored scripts and size accounting."""
+
+    def __init__(self) -> None:
+        self._base_text: Optional[str] = None
+        self._scripts: list[str] = []
+        self._latest_text: str = _EMPTY_MARKER
+
+    @property
+    def version_count(self) -> int:
+        if self._base_text is None:
+            return 0
+        return 1 + len(self._scripts)
+
+    def total_bytes(self) -> int:
+        """Total storage: the base version plus every delta (UTF-8)."""
+        if self._base_text is None:
+            return 0
+        size = len(self._base_text.encode("utf-8"))
+        for script in self._scripts:
+            size += len(script.encode("utf-8"))
+        return size
+
+    def pieces(self) -> list[str]:
+        """The stored texts (base first) — used by compression studies."""
+        if self._base_text is None:
+            return []
+        return [self._base_text, *self._scripts]
+
+    def _check_version(self, version: int) -> None:
+        if not 1 <= version <= self.version_count:
+            raise IndexError(
+                f"Version {version} not in repository (have 1..{self.version_count})"
+            )
+
+
+class IncrementalDiffRepository(_DiffRepositoryBase):
+    """V1 plus forward deltas between consecutive versions."""
+
+    def add_version(self, document: Optional[Element]) -> None:
+        text = _serialize(document)
+        if self._base_text is None:
+            self._base_text = text
+        else:
+            old_lines = self._latest_text.split("\n")
+            new_lines = text.split("\n")
+            self._scripts.append(render_script(make_script(old_lines, new_lines)))
+        self._latest_text = text
+
+    def retrieve(self, version: int) -> Optional[Element]:
+        """Reconstruct by replaying ``version - 1`` deltas."""
+        self._check_version(version)
+        assert self._base_text is not None
+        lines = self._base_text.split("\n")
+        for script in self._scripts[: version - 1]:
+            lines = apply_script(lines, parse_script(script))
+        return _deserialize("\n".join(lines))
+
+    def applications_for(self, version: int) -> int:
+        """Number of delta applications retrieval needs (cost model)."""
+        self._check_version(version)
+        return version - 1
+
+
+class CumulativeDiffRepository(_DiffRepositoryBase):
+    """V1 plus a delta from V1 to every subsequent version."""
+
+    def add_version(self, document: Optional[Element]) -> None:
+        text = _serialize(document)
+        if self._base_text is None:
+            self._base_text = text
+        else:
+            base_lines = self._base_text.split("\n")
+            new_lines = text.split("\n")
+            self._scripts.append(render_script(make_script(base_lines, new_lines)))
+        self._latest_text = text
+
+    def retrieve(self, version: int) -> Optional[Element]:
+        """Reconstruct with at most one script application."""
+        self._check_version(version)
+        assert self._base_text is not None
+        if version == 1:
+            return _deserialize(self._base_text)
+        lines = self._base_text.split("\n")
+        script = self._scripts[version - 2]
+        return _deserialize("\n".join(apply_script(lines, parse_script(script))))
+
+    def applications_for(self, version: int) -> int:
+        self._check_version(version)
+        return 0 if version == 1 else 1
+
+
+class FullCopyRepository:
+    """Every version stored whole — the "keep all versions" strawman
+    (Swiss-Prot's actual practice, per the introduction)."""
+
+    def __init__(self) -> None:
+        self._texts: list[str] = []
+
+    @property
+    def version_count(self) -> int:
+        return len(self._texts)
+
+    def add_version(self, document: Optional[Element]) -> None:
+        self._texts.append(_serialize(document))
+
+    def retrieve(self, version: int) -> Optional[Element]:
+        if not 1 <= version <= len(self._texts):
+            raise IndexError(f"Version {version} not stored")
+        return _deserialize(self._texts[version - 1])
+
+    def total_bytes(self) -> int:
+        return sum(len(text.encode("utf-8")) for text in self._texts)
+
+    def pieces(self) -> list[str]:
+        return list(self._texts)
+
+    def concatenated(self) -> str:
+        """All versions side by side (the ``xmill(V1+...+Vi)`` input)."""
+        return "\n".join(self._texts)

@@ -1,0 +1,127 @@
+"""An SCCS-style weave archiver over line files (Rochkind 1975; Sec. 8).
+
+SCCS keeps one *weave*: every line that ever existed, in order, tagged
+with the set of versions in which it is visible.  Retrieving any version
+is a single scan.  The paper's archiver "is more like SCCS" than CVS;
+when a document has no keys at all, key-based archiving degenerates to
+exactly this structure (Sec. 2), and *further compaction* applies it
+below the frontier.
+
+This standalone implementation works on arbitrary line sequences and is
+used both as a baseline in its own right and as the reference the core
+weave is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.versionset import VersionSet
+from .myers import diff_lines
+
+
+@dataclass
+class WeaveLine:
+    """One line of the weave plus the versions in which it is visible."""
+
+    text: str
+    versions: VersionSet
+
+
+@dataclass
+class SCCSWeave:
+    """A line weave over a sequence of file versions."""
+
+    lines: list[WeaveLine] = field(default_factory=list)
+    version_count: int = 0
+
+    def add_version(self, new_lines: Sequence[str]) -> None:
+        """Weave in the next version (diffed against the previous one)."""
+        version = self.version_count + 1
+        visible_indexes = [
+            index
+            for index, line in enumerate(self.lines)
+            if self.version_count > 0 and self.version_count in line.versions
+        ]
+        old_lines = [self.lines[index].text for index in visible_indexes]
+        ops = diff_lines(old_lines, list(new_lines))
+
+        kept: set[int] = set()
+        insert_before: dict[int, list[str]] = {}
+        for op in ops:
+            if op.kind == "equal":
+                kept.update(range(op.a_start, op.a_end))
+            elif op.kind == "insert":
+                insert_before.setdefault(op.a_start, []).extend(
+                    new_lines[op.b_start : op.b_end]
+                )
+
+        rebuilt: list[WeaveLine] = []
+        position = 0
+        visible_set = set(visible_indexes)
+        for index, line in enumerate(self.lines):
+            if index not in visible_set:
+                rebuilt.append(line)
+                continue
+            for text in insert_before.pop(position, []):
+                rebuilt.append(WeaveLine(text=text, versions=VersionSet([version])))
+            if position in kept:
+                line.versions.add(version)
+            rebuilt.append(line)
+            position += 1
+        for text in insert_before.pop(position, []):
+            rebuilt.append(WeaveLine(text=text, versions=VersionSet([version])))
+        assert not insert_before, "unplaced weave insertions"
+        self.lines = rebuilt
+        self.version_count = version
+
+    def retrieve(self, version: int) -> list[str]:
+        """Single-scan reconstruction of a version's lines."""
+        if not 1 <= version <= self.version_count:
+            raise IndexError(
+                f"Version {version} not woven (have 1..{self.version_count})"
+            )
+        return [line.text for line in self.lines if version in line.versions]
+
+    def line_history(self, text: str) -> list[VersionSet]:
+        """Timestamps of every weave line with the given text.
+
+        SCCS's weakness (Sec. 8): a line deleted and re-inserted appears
+        as *multiple* entries — the weave has no key to unify them.
+        """
+        return [line.versions.copy() for line in self.lines if line.text == text]
+
+    def total_bytes(self) -> int:
+        """Serialized weave size: lines plus interval-set annotations."""
+        return len(self.serialize().encode("utf-8"))
+
+    def serialize(self) -> str:
+        parts = [f"#sccs {self.version_count}"]
+        for line in self.lines:
+            parts.append(f"^{line.versions.to_text()}")
+            parts.append(line.text)
+        return "\n".join(parts) + "\n"
+
+    @classmethod
+    def deserialize(cls, text: str) -> "SCCSWeave":
+        lines = text.split("\n")
+        if not lines or not lines[0].startswith("#sccs "):
+            raise ValueError("Not a serialized SCCS weave")
+        weave = cls(version_count=int(lines[0][6:]))
+        index = 1
+        while index + 1 < len(lines):
+            marker = lines[index]
+            if not marker.startswith("^"):
+                if marker == "":
+                    index += 1
+                    continue
+                raise ValueError(f"Bad weave marker {marker!r}")
+            weave.lines.append(
+                WeaveLine(
+                    text=lines[index + 1],
+                    versions=VersionSet.parse(marker[1:]),
+                )
+            )
+            index += 2
+        return weave

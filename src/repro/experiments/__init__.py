@@ -1,0 +1,53 @@
+"""Experiment harness and per-figure drivers (Sec. 5, Appendix C)."""
+
+from .figures import (
+    Claim,
+    FigureResult,
+    appendix_c1,
+    appendix_c2,
+    figure7_statistics,
+    figure11_omim,
+    figure11_swissprot,
+    figure12_omim,
+    figure12_swissprot,
+    figure13_xmark,
+    figure14_worstcase,
+    headline_claims,
+    omim_versions,
+    swissprot_versions,
+    xmark_random_versions,
+    xmark_worst_case_versions,
+)
+from .harness import (
+    DatasetStatistics,
+    StorageSeries,
+    dataset_statistics,
+    run_storage_experiment,
+)
+from .report import render_figure, render_series, render_statistics
+
+__all__ = [
+    "Claim",
+    "DatasetStatistics",
+    "FigureResult",
+    "StorageSeries",
+    "appendix_c1",
+    "appendix_c2",
+    "dataset_statistics",
+    "figure7_statistics",
+    "figure11_omim",
+    "figure11_swissprot",
+    "figure12_omim",
+    "figure12_swissprot",
+    "figure13_xmark",
+    "figure14_worstcase",
+    "headline_claims",
+    "omim_versions",
+    "render_figure",
+    "render_series",
+    "render_statistics",
+    "run_storage_experiment",
+    "swissprot_versions",
+    "xmark_random_versions",
+    "xmark_worst_case_versions",
+]

@@ -1,0 +1,157 @@
+"""The storage-experiment harness (Sec. 5).
+
+Feeds one version sequence simultaneously to every storage strategy the
+paper plots and records cumulative byte sizes after each version:
+
+* ``version`` — the size of version *i* itself;
+* ``archive`` — our key-based merged archive (Fig. 11-14 ``archive``);
+* ``incremental`` — V1 + incremental diffs (``V1+inc diffs``);
+* ``cumulative`` — V1 + cumulative diffs (``V1+cumu diffs``);
+* ``gzip_incremental`` / ``gzip_cumulative`` — the diff repositories
+  with every piece gzipped;
+* ``xmill_archive`` — the archive XML under the XMill-style compressor;
+* ``xmill_concat`` — all versions side by side, XMill-compressed.
+
+These are exactly the lines of the paper's Figures 11-14 and Appendix C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..compress.gzipper import gzip_pieces_size
+from ..compress.xmill import compressed_size
+from ..core.archive import Archive, ArchiveOptions
+from ..diffbase.repository import (
+    CumulativeDiffRepository,
+    FullCopyRepository,
+    IncrementalDiffRepository,
+)
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element
+from ..xmltree.parser import parse_document
+from ..xmltree.serializer import serialized_size
+
+
+@dataclass
+class StorageSeries:
+    """Per-version byte sizes for every strategy."""
+
+    name: str
+    versions: list[int] = field(default_factory=list)
+    version_bytes: list[int] = field(default_factory=list)
+    archive_bytes: list[int] = field(default_factory=list)
+    incremental_bytes: list[int] = field(default_factory=list)
+    cumulative_bytes: list[int] = field(default_factory=list)
+    gzip_incremental_bytes: list[int] = field(default_factory=list)
+    gzip_cumulative_bytes: list[int] = field(default_factory=list)
+    xmill_archive_bytes: list[int] = field(default_factory=list)
+    xmill_concat_bytes: list[int] = field(default_factory=list)
+
+    LINE_LABELS = {
+        "version_bytes": "version",
+        "archive_bytes": "archive",
+        "incremental_bytes": "V1+inc diffs",
+        "cumulative_bytes": "V1+cumu diffs",
+        "gzip_incremental_bytes": "gzip(V1+inc diffs)",
+        "gzip_cumulative_bytes": "gzip(V1+cumu diffs)",
+        "xmill_archive_bytes": "xmill(archive)",
+        "xmill_concat_bytes": "xmill(V1+...+Vi)",
+    }
+
+    def lines(self) -> dict[str, list[int]]:
+        """Label → data series, only for populated lines."""
+        output: dict[str, list[int]] = {}
+        for attribute, label in self.LINE_LABELS.items():
+            data = getattr(self, attribute)
+            if data:
+                output[label] = data
+        return output
+
+    def final(self, attribute: str) -> int:
+        data = getattr(self, attribute)
+        if not data:
+            raise ValueError(f"Series {attribute} was not recorded")
+        return data[-1]
+
+    def overhead_vs_incremental(self) -> float:
+        """Max of archive/incremental over the run — the paper's
+        "never more than X%" headline metric."""
+        ratios = [
+            archive / incremental
+            for archive, incremental in zip(
+                self.archive_bytes, self.incremental_bytes
+            )
+            if incremental
+        ]
+        return max(ratios) if ratios else float("nan")
+
+
+def run_storage_experiment(
+    name: str,
+    versions: list[Element],
+    spec: KeySpec,
+    with_compression: bool = True,
+    with_cumulative: bool = True,
+    options: Optional[ArchiveOptions] = None,
+) -> StorageSeries:
+    """Run every strategy over the version sequence and record sizes."""
+    series = StorageSeries(name=name)
+    archive = Archive(spec, options)
+    incremental = IncrementalDiffRepository()
+    cumulative = CumulativeDiffRepository() if with_cumulative else None
+    full = FullCopyRepository()
+
+    for number, version in enumerate(versions, start=1):
+        archive.add_version(version.copy())
+        incremental.add_version(version)
+        if cumulative is not None:
+            cumulative.add_version(version)
+        full.add_version(version)
+
+        series.versions.append(number)
+        series.version_bytes.append(serialized_size(version))
+        archive_text = archive.to_xml_string()
+        series.archive_bytes.append(len(archive_text.encode("utf-8")))
+        series.incremental_bytes.append(incremental.total_bytes())
+        if cumulative is not None:
+            series.cumulative_bytes.append(cumulative.total_bytes())
+
+        if with_compression:
+            series.gzip_incremental_bytes.append(
+                gzip_pieces_size(incremental.pieces())
+            )
+            if cumulative is not None:
+                series.gzip_cumulative_bytes.append(
+                    gzip_pieces_size(cumulative.pieces())
+                )
+            series.xmill_archive_bytes.append(
+                compressed_size(parse_document(archive_text))
+            )
+            concat = Element("versions")
+            for piece in full.pieces():
+                if piece.strip():
+                    concat.append(parse_document(piece))
+            series.xmill_concat_bytes.append(compressed_size(concat))
+    return series
+
+
+@dataclass
+class DatasetStatistics:
+    """One row of the paper's Fig. 7 table."""
+
+    name: str
+    size_bytes: int
+    node_count: int
+    height: int
+
+
+def dataset_statistics(name: str, document: Element) -> DatasetStatistics:
+    """Size, node count N and height h of a document (Fig. 7)."""
+    return DatasetStatistics(
+        name=name,
+        size_bytes=serialized_size(document),
+        node_count=document.node_count(),
+        height=document.height(),
+    )

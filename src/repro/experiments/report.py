@@ -1,0 +1,65 @@
+"""Plain-text rendering of reproduced figures.
+
+Prints the same rows/series the paper's figures plot, as aligned
+tables, for the benchmark harness and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from .figures import FigureResult
+from .harness import DatasetStatistics, StorageSeries
+
+
+def format_bytes(count: int) -> str:
+    if count >= 10_000_000:
+        return f"{count / 1_000_000:.1f}M"
+    if count >= 10_000:
+        return f"{count / 1_000:.1f}K"
+    return str(count)
+
+
+def render_series(series: StorageSeries) -> str:
+    """One aligned table: version index → bytes per strategy."""
+    lines = series.lines()
+    labels = list(lines)
+    header = ["ver"] + labels
+    rows = []
+    for index, version in enumerate(series.versions):
+        rows.append(
+            [str(version)] + [format_bytes(lines[label][index]) for label in labels]
+        )
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        for col in range(len(header))
+    ]
+    parts = [f"# {series.name}"]
+    parts.append("  ".join(header[col].rjust(widths[col]) for col in range(len(header))))
+    for row in rows:
+        parts.append("  ".join(row[col].rjust(widths[col]) for col in range(len(header))))
+    return "\n".join(parts)
+
+
+def render_figure(result: FigureResult) -> str:
+    parts = [f"== Figure {result.figure}: {result.title} =="]
+    for series in result.series:
+        parts.append(render_series(series))
+    if result.claims:
+        parts.append("-- shape claims --")
+        for claim in result.claims:
+            status = "PASS" if claim.holds else "FAIL"
+            parts.append(f"[{status}] {claim.description}")
+    if result.notes:
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts)
+
+
+def render_statistics(rows: list[DatasetStatistics]) -> str:
+    parts = ["== Figure 7: dataset statistics =="]
+    header = f"{'Data':<12} {'Size':>10} {'No. of Nodes(N)':>16} {'Height(h)':>10}"
+    parts.append(header)
+    for row in rows:
+        parts.append(
+            f"{row.name:<12} {format_bytes(row.size_bytes):>10} "
+            f"{row.node_count:>16} {row.height:>10}"
+        )
+    return "\n".join(parts)

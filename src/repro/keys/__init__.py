@@ -1,0 +1,75 @@
+"""Keys for hierarchical data (Sec. 3, Appendix A-B).
+
+Path expressions, relative keys ``(Q, (Q', {P1..Pk}))``, the textual
+key-spec syntax of Appendix B, the Annotate Keys algorithm (Sec. 4.1)
+and full key-satisfaction checking.
+"""
+
+from .annotate import (
+    AnnotatedDocument,
+    KeyCoverageError,
+    KeyLabel,
+    KeyValue,
+    KeyViolationError,
+    annotate_keys,
+    compute_key_value,
+    iter_keyed_nodes,
+)
+from .keyparser import parse_key_line, parse_key_spec
+from .mining import MiningReport, mine_keys
+from .relational import (
+    RelationalArchiver,
+    RelationalSchema,
+    Table,
+    keys_for_schema,
+    rows_to_document,
+)
+from .paths import (
+    EMPTY_PATH,
+    Path,
+    concat,
+    format_path,
+    is_proper_prefix,
+    navigate,
+    parse_path,
+    value_at,
+)
+from .spec import Key, KeySpec, KeySpecError, empty_spec, key
+from .validate import Violation, check_document, check_key, satisfies
+
+__all__ = [
+    "EMPTY_PATH",
+    "AnnotatedDocument",
+    "Key",
+    "KeyCoverageError",
+    "KeyLabel",
+    "KeySpec",
+    "KeySpecError",
+    "KeyValue",
+    "KeyViolationError",
+    "Path",
+    "Violation",
+    "annotate_keys",
+    "check_document",
+    "check_key",
+    "compute_key_value",
+    "concat",
+    "empty_spec",
+    "format_path",
+    "is_proper_prefix",
+    "iter_keyed_nodes",
+    "key",
+    "MiningReport",
+    "RelationalArchiver",
+    "RelationalSchema",
+    "Table",
+    "keys_for_schema",
+    "rows_to_document",
+    "mine_keys",
+    "navigate",
+    "parse_key_line",
+    "parse_key_spec",
+    "parse_path",
+    "satisfies",
+    "value_at",
+]

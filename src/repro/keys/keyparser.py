@@ -1,0 +1,98 @@
+"""Parser for the textual key syntax used in the paper's Appendix B.
+
+Accepts lines such as::
+
+    (/, (ROOT, {}))
+    (/ROOT/Record, (Contributors, {Name, CNtype, Date/Month, Date/Day, Date/Year}))
+    (/ROOT/Record, (AlternativeTitle, {\\e}))
+    (/db/dept/emp, (tel, {.}))
+
+``\\e`` and ``.`` both denote the empty key path ("keyed by its own
+contents").  Lines that are blank or start with ``#`` are skipped.
+
+Appendix B.3 abbreviates the six region names with ``_``
+(``/site/regions/_``); :func:`parse_key_spec` accepts a ``wildcards``
+mapping that expands each ``_`` step into one key per substitution.
+"""
+
+from __future__ import annotations
+
+from .paths import parse_path
+from .spec import Key, KeySpec, KeySpecError
+
+
+def parse_key_line(line: str) -> Key:
+    """Parse one ``(Q, (Q', {P1, ..., Pk}))`` line into a :class:`Key`."""
+    text = line.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise KeySpecError(f"Key must be parenthesised: {line!r}")
+    body = text[1:-1].strip()
+    comma = body.find(",")
+    if comma == -1:
+        raise KeySpecError(f"Missing context/target separator in {line!r}")
+    context_text = body[:comma].strip()
+    rest = body[comma + 1 :].strip()
+    if not (rest.startswith("(") and rest.endswith(")")):
+        raise KeySpecError(f"Malformed target clause in {line!r}")
+    inner = rest[1:-1].strip()
+    brace_open = inner.find("{")
+    brace_close = inner.rfind("}")
+    if brace_open == -1 or brace_close == -1 or brace_close < brace_open:
+        raise KeySpecError(f"Malformed key-path set in {line!r}")
+    target_text = inner[:brace_open].strip().rstrip(",").strip()
+    paths_text = inner[brace_open + 1 : brace_close].strip()
+    key_paths: tuple = ()
+    if paths_text:
+        key_paths = tuple(
+            parse_path(part.strip()) for part in paths_text.split(",") if part.strip()
+        )
+    return Key(
+        context=parse_path(context_text),
+        target=parse_path(target_text),
+        key_paths=key_paths,
+    )
+
+
+def _expand_wildcards(key: Key, wildcards: dict[str, list[str]]) -> list[Key]:
+    expanded = [key]
+    for marker, substitutions in wildcards.items():
+        next_round: list[Key] = []
+        for candidate in expanded:
+            positions = [i for i, step in enumerate(candidate.context) if step == marker]
+            target_positions = [
+                i for i, step in enumerate(candidate.target) if step == marker
+            ]
+            if not positions and not target_positions:
+                next_round.append(candidate)
+                continue
+            for substitution in substitutions:
+                context = tuple(
+                    substitution if step == marker else step
+                    for step in candidate.context
+                )
+                target = tuple(
+                    substitution if step == marker else step
+                    for step in candidate.target
+                )
+                next_round.append(
+                    Key(context=context, target=target, key_paths=candidate.key_paths)
+                )
+        expanded = next_round
+    return expanded
+
+
+def parse_key_spec(
+    source: str, wildcards: dict[str, list[str]] | None = None
+) -> KeySpec:
+    """Parse a multi-line key specification into a :class:`KeySpec`."""
+    keys: list[Key] = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parsed = parse_key_line(stripped)
+        if wildcards:
+            keys.extend(_expand_wildcards(parsed, wildcards))
+        else:
+            keys.append(parsed)
+    return KeySpec(explicit_keys=keys)

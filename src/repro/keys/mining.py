@@ -1,0 +1,269 @@
+"""Key inference from version data (Sec. 9, open issues).
+
+"Our archiver assumes the keys for the data are provided by experts of
+the database.  A natural question is whether the keys can be
+automatically derived, through data analysis or mining methodologies on
+various versions."  This module answers it for the paper's key class:
+given one or more versions of a document, it proposes a relative key
+specification that every supplied version satisfies.
+
+The search is top-down, mirroring the insertion-friendly structure the
+archiver requires.  For each keyed path and each child tag beneath it:
+
+1. if every parent instance in every version has at most one such
+   child, propose the *singleton* key ``(parent, (tag, {}))``;
+2. otherwise try each candidate key-path set, smallest first: single
+   child paths and attributes that exist exactly once everywhere, then
+   pairs, then the content key ``{.}``;
+3. if nothing distinguishes the siblings, the parent becomes a
+   frontier (its subtree stays unkeyed) — exactly the archiver's
+   fallback behaviour for unkeyed data.
+
+Candidate key paths are ranked *stable-first* when multiple versions
+are supplied: a path whose value changed on an otherwise-matching
+element (matched via an already-accepted candidate) is a poor key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..xmltree.model import Attribute, Element
+from .paths import Path, navigate, value_at
+from .spec import Key, KeySpec
+
+
+@dataclass
+class MiningReport:
+    """The inferred spec plus notes about paths left unkeyed."""
+
+    spec: KeySpec
+    unkeyed_paths: list[Path] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+def _group_instances(
+    versions: list[Element], path: Path
+) -> list[list[Element]]:
+    """Sibling groups at ``path``: one list per parent instance."""
+    groups: list[list[Element]] = []
+    for root in versions:
+        if not path:
+            raise ValueError("Path must be non-empty")
+        if root.tag != path[0]:
+            continue
+        parents = [root]
+        for step in path[1:-1]:
+            parents = [c for p in parents for c in p.find_all(step)]
+        for parent in parents:
+            groups.append(parent.find_all(path[-1]))
+    return groups
+
+
+def _candidate_paths(instances: list[Element]) -> list[Path]:
+    """Child paths/attributes that exist exactly once in EVERY instance."""
+    if not instances:
+        return []
+    candidates: set[Path] = None  # type: ignore[assignment]
+    for node in instances:
+        here: set[Path] = set()
+        tags = {}
+        for child in node.element_children():
+            tags[child.tag] = tags.get(child.tag, 0) + 1
+        for tag, count in tags.items():
+            if count == 1:
+                here.add((tag,))
+        for attr in node.attributes:
+            if not any(c.tag == attr.name for c in node.element_children()):
+                here.add((attr.name,))
+        candidates = here if candidates is None else candidates & here
+    return sorted(candidates or set())
+
+
+def _values_unique(groups: list[list[Element]], key_paths: tuple[Path, ...]) -> bool:
+    """Do the key paths distinguish siblings within every group?"""
+    for group in groups:
+        seen = set()
+        for node in group:
+            parts = []
+            for key_path in key_paths:
+                targets = navigate(node, key_path)
+                if len(targets) != 1:
+                    return False
+                parts.append(value_at(targets[0]))
+            signature = tuple(parts)
+            if signature in seen:
+                return False
+            seen.add(signature)
+    return True
+
+
+def _content_unique(groups: list[list[Element]]) -> bool:
+    for group in groups:
+        seen = set()
+        for node in group:
+            signature = value_at(node)
+            if signature in seen:
+                return False
+            seen.add(signature)
+    return True
+
+
+def _stability_rank(
+    versions: list[Element], path: Path, candidate: Path
+) -> int:
+    """Lower is better: number of distinct values the candidate takes
+    across versions at fixed positions — a crude churn proxy.  With a
+    single version every candidate ranks equally."""
+    if len(versions) < 2:
+        return 0
+    value_sets: dict[int, set[str]] = {}
+    for root in versions:
+        for position, group in enumerate(_group_instances([root], path)):
+            for index, node in enumerate(group):
+                targets = navigate(node, candidate)
+                if len(targets) == 1:
+                    value_sets.setdefault(position * 10_000 + index, set()).add(
+                        value_at(targets[0])
+                    )
+    return sum(len(values) - 1 for values in value_sets.values())
+
+
+def mine_keys(
+    versions: list[Element],
+    max_composite: int = 2,
+    max_depth: int = 12,
+) -> MiningReport:
+    """Infer a relative key specification from document versions.
+
+    ``max_composite`` bounds the size of composite keys tried (the
+    paper's experimental keys use at most 5 components; 2 suffices for
+    most of them); ``max_depth`` bounds the keyed depth.
+    """
+    if not versions:
+        raise ValueError("Need at least one version to mine keys from")
+    root_tags = {root.tag for root in versions}
+    if len(root_tags) != 1:
+        raise ValueError(f"Versions have different root tags: {root_tags}")
+    (root_tag,) = root_tags
+
+    keys: list[Key] = [Key(context=(), target=(root_tag,), key_paths=())]
+    unkeyed: list[Path] = []
+    notes: list[str] = []
+    # Paths that are key-path values of an accepted key: never keyed below.
+    blocked: set[Path] = set()
+
+    queue: list[Path] = [(root_tag,)]
+    while queue:
+        parent_path = queue.pop(0)
+        if len(parent_path) >= max_depth:
+            continue
+        if len(parent_path) > 1:
+            parent_nodes = [
+                node
+                for group in _group_instances(versions, parent_path)
+                for node in group
+            ]
+        else:
+            parent_nodes = [root for root in versions if root.tag == parent_path[0]]
+        child_tags = sorted(
+            {
+                child.tag
+                for node in parent_nodes
+                for child in node.element_children()
+            }
+        )
+        for tag in child_tags:
+            target_path = parent_path + (tag,)
+            if any(
+                target_path[: len(b)] == b and len(target_path) > len(b)
+                for b in blocked
+            ):
+                continue
+            groups = _group_instances(versions, target_path)
+            instances = [node for group in groups for node in group]
+            if not instances:
+                continue
+            if all(len(group) <= 1 for group in groups):
+                keys.append(Key(context=parent_path, target=(tag,), key_paths=()))
+                queue.append(target_path)
+                continue
+            found = _find_key(
+                versions, target_path, groups, instances, max_composite
+            )
+            if found is None:
+                if _content_unique(groups):
+                    keys.append(
+                        Key(context=parent_path, target=(tag,), key_paths=((),))
+                    )
+                    blocked.add(target_path)
+                else:
+                    unkeyed.append(target_path)
+                    notes.append(
+                        f"no key distinguishes siblings at "
+                        f"/{'/'.join(target_path)}; left unkeyed"
+                    )
+                continue
+            keys.append(Key(context=parent_path, target=(tag,), key_paths=found))
+            for key_path in found:
+                blocked.add(target_path + key_path)
+            queue.append(target_path)
+
+    return MiningReport(
+        spec=KeySpec(explicit_keys=keys), unkeyed_paths=unkeyed, notes=notes
+    )
+
+
+def _find_key(
+    versions: list[Element],
+    target_path: Path,
+    groups: list[list[Element]],
+    instances: list[Element],
+    max_composite: int,
+) -> tuple[Path, ...] | None:
+    candidates = _candidate_paths(instances)
+
+    def average_value_length(candidate: Path) -> float:
+        total = 0
+        counted = 0
+        for node in instances[:50]:
+            targets = navigate(node, candidate)
+            if len(targets) == 1:
+                total += len(value_at(targets[0]))
+                counted += 1
+        return total / counted if counted else float("inf")
+
+    def global_distinctness(candidate: Path) -> float:
+        """Fraction of instances with a globally unique value — real
+        identifiers are unique across the whole collection, not merely
+        within one parent's children."""
+        values = []
+        for node in instances:
+            targets = navigate(node, candidate)
+            if len(targets) == 1:
+                values.append(value_at(targets[0]))
+        if not values:
+            return 0.0
+        return len(set(values)) / len(values)
+
+    # Stable-first, identifier-like-first, then compact-first: short,
+    # globally unique, unchanging fields (ids, accession numbers) make
+    # the best keys.
+    ranked = sorted(
+        candidates,
+        key=lambda c: (
+            _stability_rank(versions, target_path, c),
+            -global_distinctness(c),
+            average_value_length(c),
+            c,
+        ),
+    )
+    for candidate in ranked:
+        if _values_unique(groups, (candidate,)):
+            return (candidate,)
+    for size in range(2, max_composite + 1):
+        for combo in combinations(ranked, size):
+            if _values_unique(groups, combo):
+                return tuple(sorted(combo))
+    return None

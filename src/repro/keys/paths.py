@@ -1,0 +1,106 @@
+"""Path expressions (Appendix A.2).
+
+A path is a sequence of node names (tag or attribute names) joined with
+``/``.  The empty path — written ``.`` or ``\\e`` in the paper's appendix —
+denotes the node itself (its own value).  Attribute steps match A-nodes
+as well as E-nodes, since the paper's path language ranges over both
+("a sequence of node names — tag or attribute names").
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..xmltree.canonical import canonical_form_of_children
+from ..xmltree.model import Attribute, Element
+
+Path = tuple[str, ...]
+
+EMPTY_PATH: Path = ()
+
+_EMPTY_SPELLINGS = {"", ".", "\\e"}
+
+
+def parse_path(text: str) -> Path:
+    """Parse a path expression string into a :data:`Path` tuple.
+
+    ``'/db/dept'`` and ``'db/dept'`` both parse to ``('db', 'dept')``; a
+    leading ``/`` simply anchors at the context node, which the tuple form
+    already implies.  ``'.'``, ``'\\e'`` and ``''`` parse to the empty path.
+    """
+    text = text.strip()
+    if text in _EMPTY_SPELLINGS or text == "/":
+        return EMPTY_PATH
+    steps = tuple(step for step in text.split("/") if step)
+    if not steps:
+        return EMPTY_PATH
+    for step in steps:
+        if step in _EMPTY_SPELLINGS:
+            raise ValueError(f"Empty step inside path {text!r}")
+    return steps
+
+
+def format_path(path: Path, absolute: bool = True) -> str:
+    """Render a path tuple back to its string form."""
+    if not path:
+        return "."
+    body = "/".join(path)
+    return f"/{body}" if absolute else body
+
+
+def concat(prefix: Path, suffix: Path) -> Path:
+    """Concatenate two paths (``P/Q`` in the paper)."""
+    return prefix + suffix
+
+
+def is_proper_prefix(short: Path, long: Path) -> bool:
+    """``True`` when ``short`` is a proper prefix of ``long``."""
+    return len(short) < len(long) and long[: len(short)] == short
+
+
+PathTarget = Union[Element, Attribute]
+
+
+def navigate(node: Element, path: Path) -> list[PathTarget]:
+    """Return the nodes reachable from ``node`` via ``path``.
+
+    A step first matches E-children by tag; if the final step matches no
+    element, it may match an attribute of the current node (attribute
+    names and tag names share the namespace in the paper's model).
+    The empty path yields ``[node]``.
+    """
+    current: list[PathTarget] = [node]
+    for step in path:
+        next_nodes: list[PathTarget] = []
+        for item in current:
+            if not isinstance(item, Element):
+                # A-nodes are leaves; nothing lies beneath them.
+                continue
+            matched = item.find_all(step)
+            if matched:
+                next_nodes.extend(matched)
+            else:
+                attr_value = item.get_attribute(step)
+                if attr_value is not None:
+                    next_nodes.append(Attribute(step, attr_value))
+        current = next_nodes
+    return current
+
+
+def value_at(target: PathTarget) -> str:
+    """Canonical string of the XML value rooted *under* a path target.
+
+    For an attribute it is the attribute's string value.  For an element
+    it is the canonical form of its content, prefixed with the element's
+    own attributes when it has any: the paper's node value includes the
+    A-children, and some key paths (XMark's ``seller``/``buyer``) are
+    distinguished *only* by their attributes.  Attribute-free elements
+    keep the friendly form — ``<fn>John</fn>`` keys on ``John``.
+    """
+    if isinstance(target, Attribute):
+        return target.value
+    attr_part = "".join(
+        f'@{attr.name}="{attr.value}"'
+        for attr in sorted(target.attributes, key=lambda a: a.name)
+    )
+    return attr_part + canonical_form_of_children(target)

@@ -1,0 +1,114 @@
+"""Full key-satisfaction check (Appendix A.4-A.5 definitions).
+
+:func:`annotate_keys` already enforces everything Nested Merge needs.
+This module provides the declarative check — "document D satisfies key
+specification K" — reporting *all* violations rather than failing fast,
+which is what a data curator wants when designing a key structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xmltree.model import Element
+from .paths import Path, format_path, navigate
+from .spec import Key, KeySpec
+from .annotate import KeyValue, compute_key_value, KeyViolationError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One way in which a document fails a key."""
+
+    key: Key
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.key}: {self.message}"
+
+
+def _context_nodes(root: Element, context: Path) -> list[Element]:
+    """Nodes reached from the document root via the context path.
+
+    The first step of an absolute context names the root element itself.
+    """
+    if not context:
+        return [root]  # the virtual node above the document root
+    if context[0] != root.tag:
+        return []
+    nodes = [root]
+    for step in context[1:]:
+        nodes = [child for node in nodes for child in node.find_all(step)]
+    return nodes
+
+
+def _target_nodes(context_node: Element, target: Path) -> list[Element]:
+    nodes = [context_node]
+    for step in target:
+        next_nodes: list[Element] = []
+        for node in nodes:
+            next_nodes.extend(node.find_all(step))
+        nodes = next_nodes
+    return nodes
+
+
+def check_key(root: Element, key: Key) -> list[Violation]:
+    """All violations of one relative key in the document."""
+    violations: list[Violation] = []
+    for context_node in _context_nodes(root, key.context):
+        targets = _target_nodes(context_node, key.target)
+        seen: dict[KeyValue, Element] = {}
+        for target in targets:
+            try:
+                value = compute_key_value(target, key)
+            except KeyViolationError as err:
+                violations.append(Violation(key=key, message=str(err)))
+                continue
+            if value in seen and seen[value] is not target:
+                violations.append(
+                    Violation(
+                        key=key,
+                        message=(
+                            f"two <{target.tag}> nodes share the key value "
+                            f"{dict(value) if value else '(empty key)'} under "
+                            f"context {format_path(key.context)}"
+                        ),
+                    )
+                )
+            else:
+                seen[value] = target
+        if not key.key_paths and len(targets) > 1:
+            violations.append(
+                Violation(
+                    key=key,
+                    message=(
+                        f"{len(targets)} <{format_path(key.target, absolute=False)}>"
+                        f" nodes under one context node, but the empty key"
+                        f" allows at most one"
+                    ),
+                )
+            )
+    return violations
+
+
+def check_document(root: Element, spec: KeySpec) -> list[Violation]:
+    """All violations of every key in the specification."""
+    violations: list[Violation] = []
+    for key in spec:
+        violations.extend(check_key(root, key))
+    return violations
+
+
+def satisfies(root: Element, spec: KeySpec) -> bool:
+    """``True`` when the document satisfies every key in the spec."""
+    return not check_document(root, spec)
+
+
+# Re-export navigate for API symmetry with the paper's n[[P]] notation.
+__all__ = [
+    "Violation",
+    "check_key",
+    "check_document",
+    "navigate",
+    "satisfies",
+]

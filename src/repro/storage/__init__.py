@@ -1,0 +1,45 @@
+"""External-memory archiving (Sec. 6).
+
+Event-stream files with I/O accounting, bounded-memory sorted runs with
+k-way merging, the one-pass stream merge, and the
+:class:`ExternalArchiver` facade tying the three phases together.
+"""
+
+from .archiver import ExternalArchiver, archive_to_stream
+from .chunked import ChunkedArchiver, ChunkedArchiverError
+from .events import (
+    DEFAULT_PAGE_SIZE,
+    EventWriter,
+    ExitEvent,
+    FrontierEvent,
+    IOStats,
+    NodeEvent,
+    PeekableEvents,
+    decode_event,
+    encode_event,
+    read_events,
+)
+from .extmerge import StreamMergeError, merge_archive_stream
+from .extsort import merge_event_streams, sort_version, write_sorted_runs
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "ChunkedArchiver",
+    "ChunkedArchiverError",
+    "EventWriter",
+    "ExitEvent",
+    "ExternalArchiver",
+    "FrontierEvent",
+    "IOStats",
+    "NodeEvent",
+    "PeekableEvents",
+    "StreamMergeError",
+    "archive_to_stream",
+    "decode_event",
+    "encode_event",
+    "merge_archive_stream",
+    "merge_event_streams",
+    "read_events",
+    "sort_version",
+    "write_sorted_runs",
+]

@@ -1,0 +1,238 @@
+"""The external-memory archiver facade (Sec. 6).
+
+:class:`ExternalArchiver` keeps the archive as a key-sorted event
+stream on disk.  ``add_version`` runs the paper's three phases:
+
+1. **Annotate** the incoming version with key values (Sec. 6.1);
+2. **Sort** it into a stream via bounded-memory sorted runs and k-way
+   merging (Sec. 6.2);
+3. **Merge** the sorted version stream with the archive stream in one
+   pass (Sec. 6.3).
+
+The archive itself is never materialized in memory; ``retrieve`` streams
+the archive and keeps only the requested version.  I/O is accounted in
+pages so the analysis of Sec. 6 can be checked experimentally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..core.archive import Archive, ArchiveOptions, ROOT_TAG
+from ..core.merge import MergeStats
+from ..core.nodes import ArchiveNode
+from ..core.versionset import VersionSet
+from ..keys.annotate import KeyLabel, annotate_keys
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element
+from .events import (
+    DEFAULT_PAGE_SIZE,
+    EventWriter,
+    ExitEvent,
+    FrontierEvent,
+    IOStats,
+    NodeEvent,
+    PeekableEvents,
+    archive_node_to_events,
+    events_to_archive_node,
+    read_events,
+)
+from .extmerge import merge_archive_stream
+from .extsort import sort_version
+
+
+class ExternalArchiver:
+    """A disk-resident archive with bounded-memory version merging."""
+
+    def __init__(
+        self,
+        directory: str,
+        spec: KeySpec,
+        memory_budget: int = 10_000,
+        fan_in: int = 8,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        """``memory_budget`` is the node budget of one sorted run — the
+        paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity."""
+        self.directory = directory
+        self.spec = spec
+        self.memory_budget = memory_budget
+        self.fan_in = fan_in
+        self.stats = IOStats(page_size=page_size)
+        os.makedirs(directory, exist_ok=True)
+        self.archive_path = os.path.join(directory, "archive.jsonl")
+        if not os.path.exists(self.archive_path):
+            self._write_empty_archive()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _write_empty_archive(self) -> None:
+        with EventWriter(self.archive_path, self.stats) as writer:
+            writer.write(
+                NodeEvent(
+                    label=KeyLabel(tag=ROOT_TAG, key=()),
+                    attributes=(),
+                    timestamp=VersionSet(),
+                )
+            )
+            writer.write(ExitEvent())
+
+    def _root_timestamp(self) -> VersionSet:
+        events = read_events(self.archive_path, IOStats())  # peek without accounting
+        root = next(events)
+        assert isinstance(root, NodeEvent) and root.timestamp is not None
+        return root.timestamp
+
+    @property
+    def last_version(self) -> int:
+        timestamp = self._root_timestamp()
+        return timestamp.max_version() if timestamp else 0
+
+    # -- the three phases ---------------------------------------------------------
+
+    def add_version(self, document: Optional[Element]) -> MergeStats:
+        """Annotate, sort and merge the next version (Sec. 6)."""
+        number = self.last_version + 1
+        if document is None:
+            self._add_empty_version(number)
+            return MergeStats()
+        annotated = annotate_keys(document, self.spec)  # Sec. 6.1
+        version_path = sort_version(  # Sec. 6.2
+            annotated,
+            self.directory,
+            budget=self.memory_budget,
+            stats=self.stats,
+            fan_in=self.fan_in,
+            prefix=f"v{number}",
+        )
+        out_path = os.path.join(self.directory, "archive.next.jsonl")
+        merge_stats = merge_archive_stream(  # Sec. 6.3
+            self.archive_path, version_path, out_path, number, self.stats
+        )
+        os.replace(out_path, self.archive_path)
+        os.remove(version_path)
+        return merge_stats
+
+    def _add_empty_version(self, number: int) -> None:
+        out_path = os.path.join(self.directory, "archive.next.jsonl")
+        events = read_events(self.archive_path, self.stats)
+        with EventWriter(out_path, self.stats) as writer:
+            root = next(events)
+            assert isinstance(root, NodeEvent) and root.timestamp is not None
+            timestamp = root.timestamp.copy()
+            timestamp.add(number)
+            from dataclasses import replace
+
+            writer.write(replace(root, timestamp=timestamp))
+            depth = 1
+            for event in events:
+                if isinstance(event, (NodeEvent, FrontierEvent)):
+                    if depth == 1 and event.timestamp is None:
+                        event = replace(event, timestamp=timestamp.without(number))
+                    if isinstance(event, NodeEvent):
+                        depth += 1
+                elif isinstance(event, ExitEvent):
+                    depth -= 1
+                writer.write(event)
+        os.replace(out_path, self.archive_path)
+
+    # -- queries -------------------------------------------------------------------
+
+    def retrieve(self, version: int) -> Optional[Element]:
+        """Stream the archive, keeping only the requested version."""
+        events = PeekableEvents(read_events(self.archive_path, self.stats))
+        root = events.next()
+        assert isinstance(root, NodeEvent) and root.timestamp is not None
+        if version not in root.timestamp:
+            raise ValueError(
+                f"Version {version} not archived "
+                f"(have {root.timestamp.to_text() or 'none'})"
+            )
+        result = self._reconstruct_children(events, version, root.timestamp)
+        return result[0] if result else None
+
+    def _reconstruct_children(
+        self, events: PeekableEvents, version: int, inherited: VersionSet
+    ) -> list[Element]:
+        children: list[Element] = []
+        while True:
+            head = events.peek()
+            if head is None or isinstance(head, ExitEvent):
+                if head is not None:
+                    events.next()
+                return children
+            event = events.next()
+            assert isinstance(event, (NodeEvent, FrontierEvent))
+            timestamp = (
+                event.timestamp if event.timestamp is not None else inherited
+            )
+            relevant = version in timestamp
+            if isinstance(event, FrontierEvent):
+                if relevant:
+                    element = Element(event.label.tag)
+                    for name, value in event.attributes:
+                        element.set_attribute(name, value)
+                    for alternative in event.alternatives:
+                        if (
+                            alternative.timestamp is None
+                            or version in alternative.timestamp
+                        ):
+                            for content in alternative.content:
+                                element.append(content.copy())
+                            break
+                    children.append(element)
+                continue
+            if relevant:
+                element = Element(event.label.tag)
+                for name, value in event.attributes:
+                    element.set_attribute(name, value)
+                for child in self._reconstruct_children(events, version, timestamp):
+                    element.append(child)
+                children.append(element)
+            else:
+                # Irrelevant subtree: drain it without building anything.
+                depth = 1
+                while depth:
+                    skipped = events.next()
+                    if isinstance(skipped, NodeEvent):
+                        depth += 1
+                    elif isinstance(skipped, ExitEvent):
+                        depth -= 1
+        return children
+
+    def to_archive(self, options: Optional[ArchiveOptions] = None) -> Archive:
+        """Materialize the stream into an in-memory :class:`Archive`.
+
+        Used by the equivalence tests; defeats the purpose otherwise.
+        """
+        archive = Archive(self.spec, options)
+        events = PeekableEvents(read_events(self.archive_path, self.stats))
+        root = events.next()
+        assert isinstance(root, NodeEvent) and root.timestamp is not None
+        archive.root = ArchiveNode(
+            label=root.label, timestamp=root.timestamp.copy()
+        )
+        while not isinstance(events.peek(), ExitEvent):
+            archive.root.children.append(events_to_archive_node(events))
+        return archive
+
+    def archive_bytes(self) -> int:
+        """Current size of the on-disk archive stream."""
+        return os.path.getsize(self.archive_path)
+
+
+def archive_to_stream(archive: Archive, path: str, stats: IOStats) -> None:
+    """Write an in-memory archive as a sorted event stream."""
+    assert archive.root.timestamp is not None
+    with EventWriter(path, stats) as writer:
+        writer.write(
+            NodeEvent(
+                label=archive.root.label,
+                attributes=archive.root.attributes,
+                timestamp=archive.root.timestamp,
+            )
+        )
+        for child in archive.root.children:
+            archive_node_to_events(child, writer)
+        writer.write(ExitEvent())

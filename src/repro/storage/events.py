@@ -1,0 +1,307 @@
+"""On-disk event streams for archives and versions (Sec. 6).
+
+The external-memory archiver never holds an archive in memory; it works
+on *event streams* — a document-order traversal with children sorted by
+key label at every level, so two streams can be merged with memory
+proportional to tree height only (the paper's assumption: a root-to-leaf
+path fits in a page).
+
+Stream format: one JSON array per line.
+
+* ``["N", tag, key, attrs, ts]`` — enter an internal keyed node
+  (``key`` = list of ``[path, value]`` pairs, ``ts`` = interval text or
+  ``null`` for an inherited timestamp);
+* ``["F", tag, key, attrs, ts, alternatives]`` — a whole frontier node;
+  ``alternatives`` = list of ``[ts_or_null, [content...]]`` where each
+  content item is ``["E", xml]`` or ``["T", text]``;
+* ``["X"]`` — exit the current internal node.
+
+I/O accounting wraps every reader/writer: bytes moved divided by the
+page size ``B`` gives the page counts of the paper's analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from ..core.nodes import Alternative, ArchiveNode, ContentNode
+from ..core.versionset import VersionSet
+from ..keys.annotate import AnnotatedDocument, KeyLabel
+from ..xmltree.model import Element, Text
+from ..xmltree.parser import parse_document
+from ..xmltree.serializer import to_string
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class IOStats:
+    """Byte/page accounting across the external archiver's phases."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def pages_read(self) -> int:
+        return -(-self.bytes_read // self.page_size)
+
+    def pages_written(self) -> int:
+        return -(-self.bytes_written // self.page_size)
+
+    def merge(self, other: "IOStats") -> None:
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+
+@dataclass
+class NodeEvent:
+    """Enter an internal node."""
+
+    label: KeyLabel
+    attributes: tuple[tuple[str, str], ...]
+    timestamp: Optional[VersionSet]
+
+    def token(self) -> tuple:
+        return self.label.sort_token()
+
+
+@dataclass
+class FrontierEvent:
+    """A complete frontier node."""
+
+    label: KeyLabel
+    attributes: tuple[tuple[str, str], ...]
+    timestamp: Optional[VersionSet]
+    alternatives: list[Alternative]
+
+    def token(self) -> tuple:
+        return self.label.sort_token()
+
+
+@dataclass
+class ExitEvent:
+    """Exit the current internal node."""
+
+
+Event = Union[NodeEvent, FrontierEvent, ExitEvent]
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def _encode_content(content: list[ContentNode]) -> list[list[str]]:
+    encoded: list[list[str]] = []
+    for node in content:
+        if isinstance(node, Text):
+            encoded.append(["T", node.text])
+        else:
+            encoded.append(["E", to_string(node)])
+    return encoded
+
+
+def _decode_content(encoded: list[list[str]]) -> list[ContentNode]:
+    content: list[ContentNode] = []
+    for kind, payload in encoded:
+        if kind == "T":
+            content.append(Text(payload))
+        else:
+            content.append(parse_document(payload))
+    return content
+
+
+def encode_event(event: Event) -> str:
+    if isinstance(event, ExitEvent):
+        return '["X"]'
+    ts = event.timestamp.to_text() if event.timestamp is not None else None
+    key = [[path, value] for path, value in event.label.key]
+    attrs = [[name, value] for name, value in event.attributes]
+    if isinstance(event, NodeEvent):
+        return json.dumps(["N", event.label.tag, key, attrs, ts])
+    alternatives = [
+        [
+            alt.timestamp.to_text() if alt.timestamp is not None else None,
+            _encode_content(alt.content),
+        ]
+        for alt in event.alternatives
+    ]
+    return json.dumps(["F", event.label.tag, key, attrs, ts, alternatives])
+
+
+def decode_event(line: str) -> Event:
+    data = json.loads(line)
+    kind = data[0]
+    if kind == "X":
+        return ExitEvent()
+    tag, key, attrs, ts = data[1], data[2], data[3], data[4]
+    label = KeyLabel(tag=tag, key=tuple((p, v) for p, v in key))
+    attributes = tuple((n, v) for n, v in attrs)
+    timestamp = VersionSet.parse(ts) if ts is not None else None
+    if kind == "N":
+        return NodeEvent(label=label, attributes=attributes, timestamp=timestamp)
+    alternatives = [
+        Alternative(
+            timestamp=VersionSet.parse(alt_ts) if alt_ts is not None else None,
+            content=_decode_content(content),
+        )
+        for alt_ts, content in data[5]
+    ]
+    return FrontierEvent(
+        label=label,
+        attributes=attributes,
+        timestamp=timestamp,
+        alternatives=alternatives,
+    )
+
+
+# -- file I/O with accounting --------------------------------------------------
+
+
+class EventWriter:
+    """Writes an event stream to a file, counting bytes."""
+
+    def __init__(self, path: str, stats: IOStats) -> None:
+        self._handle = open(path, "w", encoding="utf-8")
+        self._stats = stats
+
+    def write(self, event: Event) -> None:
+        line = encode_event(event) + "\n"
+        self._handle.write(line)
+        self._stats.bytes_written += len(line.encode("utf-8"))
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "EventWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str, stats: IOStats) -> Iterator[Event]:
+    """Lazily iterate events from a stream file, counting bytes."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stats.bytes_read += len(line.encode("utf-8"))
+            if line.strip():
+                yield decode_event(line)
+
+
+class PeekableEvents:
+    """A one-event lookahead wrapper used by the stream mergers."""
+
+    def __init__(self, events: Iterator[Event]) -> None:
+        self._events = events
+        self._buffer: list[Event] = []
+
+    def peek(self) -> Optional[Event]:
+        if not self._buffer:
+            try:
+                self._buffer.append(next(self._events))
+            except StopIteration:
+                return None
+        return self._buffer[0]
+
+    def next(self) -> Event:
+        event = self.peek()
+        if event is None:
+            raise StopIteration("event stream exhausted")
+        self._buffer.pop(0)
+        return event
+
+    def skip_subtree(self, first: Event) -> Iterator[Event]:
+        """Yield ``first`` plus the rest of its subtree's events."""
+        yield first
+        if isinstance(first, NodeEvent):
+            depth = 1
+            while depth:
+                event = self.next()
+                if isinstance(event, NodeEvent):
+                    depth += 1
+                elif isinstance(event, ExitEvent):
+                    depth -= 1
+                yield event
+
+
+# -- conversions to/from the in-memory archive ------------------------------------
+
+
+def archive_node_to_events(node: ArchiveNode, writer: EventWriter) -> None:
+    """Emit one archive subtree (children assumed label-sorted)."""
+    if node.weave is not None:
+        raise ValueError(
+            "Event streams store frontier alternatives; weave-compacted "
+            "archives are an in-memory representation (convert first)"
+        )
+    if node.alternatives is not None:
+        writer.write(
+            FrontierEvent(
+                label=node.label,
+                attributes=node.attributes,
+                timestamp=node.timestamp,
+                alternatives=node.alternatives,
+            )
+        )
+        return
+    writer.write(
+        NodeEvent(
+            label=node.label, attributes=node.attributes, timestamp=node.timestamp
+        )
+    )
+    for child in node.children:
+        archive_node_to_events(child, writer)
+    writer.write(ExitEvent())
+
+
+def events_to_archive_node(events: PeekableEvents) -> ArchiveNode:
+    """Rebuild one archive subtree from its events."""
+    event = events.next()
+    if isinstance(event, FrontierEvent):
+        return ArchiveNode(
+            label=event.label,
+            timestamp=event.timestamp,
+            attributes=event.attributes,
+            alternatives=event.alternatives,
+        )
+    assert isinstance(event, NodeEvent)
+    node = ArchiveNode(
+        label=event.label, timestamp=event.timestamp, attributes=event.attributes
+    )
+    while not isinstance(events.peek(), ExitEvent):
+        node.children.append(events_to_archive_node(events))
+    events.next()  # consume the exit
+    return node
+
+
+def version_subtree_to_events(
+    node: Element,
+    document: AnnotatedDocument,
+    writer: EventWriter,
+) -> None:
+    """Emit a key-annotated version subtree, children sorted by label."""
+    label = document.label(node)
+    assert label is not None
+    attributes = tuple(sorted((a.name, a.value) for a in node.attributes))
+    if document.is_frontier(node):
+        writer.write(
+            FrontierEvent(
+                label=label,
+                attributes=attributes,
+                timestamp=None,
+                alternatives=[
+                    Alternative(
+                        timestamp=None, content=[c.copy() for c in node.children]
+                    )
+                ],
+            )
+        )
+        return
+    writer.write(NodeEvent(label=label, attributes=attributes, timestamp=None))
+    ordered = sorted(
+        node.element_children(), key=lambda child: document.label(child).sort_token()
+    )
+    for child in ordered:
+        version_subtree_to_events(child, document, writer)
+    writer.write(ExitEvent())

@@ -1,0 +1,279 @@
+"""A hand-written XML parser for the paper's data model.
+
+The parser accepts the well-formed XML subset the paper's documents use:
+elements, attributes (single- or double-quoted), character data, the five
+predefined entities plus numeric character references, comments,
+processing instructions and CDATA sections.  DTDs are tolerated at the
+prolog and skipped.
+
+Inter-element whitespace — text consisting entirely of whitespace that
+appears next to element siblings — is dropped, matching the paper's model
+(footnote 3 in Sec. 4.3: "our XML model ignores these whitespaces").
+Whitespace inside mixed content where no element siblings exist is kept.
+"""
+
+from __future__ import annotations
+
+from .model import Element, Text
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+class XMLSyntaxError(ValueError):
+    """Raised on malformed input, with position information."""
+
+    def __init__(self, message: str, position: int, line: int) -> None:
+        super().__init__(f"{message} (at offset {position}, line {line})")
+        self.position = position
+        self.line = line
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Parser:
+    """Recursive-descent parser over a source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+
+    # -- error/position helpers -------------------------------------------
+
+    def _line(self) -> int:
+        return self.source.count("\n", 0, self.pos) + 1
+
+    def _fail(self, message: str) -> "XMLSyntaxError":
+        return XMLSyntaxError(message, self.pos, self._line())
+
+    # -- low-level scanning -------------------------------------------------
+
+    def _peek(self) -> str:
+        if self.pos >= self.length:
+            raise self._fail("Unexpected end of input")
+        return self.source[self.pos]
+
+    def _startswith(self, token: str) -> bool:
+        return self.source.startswith(token, self.pos)
+
+    def _expect(self, token: str) -> None:
+        if not self._startswith(token):
+            found = self.source[self.pos : self.pos + len(token)]
+            raise self._fail(f"Expected {token!r}, found {found!r}")
+        self.pos += len(token)
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.source[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _read_name(self) -> str:
+        start = self.pos
+        if self.pos >= self.length or not _is_name_start(self.source[self.pos]):
+            raise self._fail("Expected a name")
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.source[self.pos]):
+            self.pos += 1
+        return self.source[start : self.pos]
+
+    # -- entity expansion ---------------------------------------------------
+
+    def _expand_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        parts: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                parts.append(ch)
+                i += 1
+                continue
+            end = raw.find(";", i + 1)
+            if end == -1:
+                raise self._fail("Unterminated entity reference")
+            name = raw[i + 1 : end]
+            if name.startswith("#x") or name.startswith("#X"):
+                parts.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                parts.append(chr(int(name[1:], 10)))
+            elif name in _PREDEFINED_ENTITIES:
+                parts.append(_PREDEFINED_ENTITIES[name])
+            else:
+                raise self._fail(f"Unknown entity &{name};")
+            i = end + 1
+        return "".join(parts)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_document(self) -> Element:
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos != self.length:
+            raise self._fail("Content after document root")
+        return root
+
+    def _skip_prolog(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self._startswith("<?"):
+                self._skip_processing_instruction()
+            elif self._startswith("<!--"):
+                self._skip_comment()
+            elif self._startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self._startswith("<?"):
+                self._skip_processing_instruction()
+            elif self._startswith("<!--"):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_processing_instruction(self) -> None:
+        end = self.source.find("?>", self.pos)
+        if end == -1:
+            raise self._fail("Unterminated processing instruction")
+        self.pos = end + 2
+
+    def _skip_comment(self) -> None:
+        end = self.source.find("-->", self.pos)
+        if end == -1:
+            raise self._fail("Unterminated comment")
+        self.pos = end + 3
+
+    def _skip_doctype(self) -> None:
+        # Skip to the matching '>', allowing one bracketed internal subset.
+        depth = 0
+        while self.pos < self.length:
+            ch = self.source[self.pos]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                self.pos += 1
+                return
+            self.pos += 1
+        raise self._fail("Unterminated DOCTYPE")
+
+    def _parse_element(self) -> Element:
+        self._expect("<")
+        tag = self._read_name()
+        node = Element(tag)
+        # Attributes.
+        while True:
+            self._skip_whitespace()
+            if self._startswith("/>"):
+                self.pos += 2
+                return node
+            if self._startswith(">"):
+                self.pos += 1
+                break
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in "'\"":
+                raise self._fail("Attribute value must be quoted")
+            self.pos += 1
+            end = self.source.find(quote, self.pos)
+            if end == -1:
+                raise self._fail("Unterminated attribute value")
+            value = self._expand_entities(self.source[self.pos : end])
+            self.pos = end + 1
+            if node.get_attribute(name) is not None:
+                raise self._fail(f"Duplicate attribute {name!r} on <{tag}>")
+            node.set_attribute(name, value)
+        self._parse_content(node, tag)
+        return node
+
+    def _parse_content(self, node: Element, tag: str) -> None:
+        text_parts: list[str] = []
+
+        def flush_text() -> None:
+            if not text_parts:
+                return
+            text = "".join(text_parts)
+            text_parts.clear()
+            node.append(Text(text))
+
+        while True:
+            if self.pos >= self.length:
+                raise self._fail(f"Unclosed element <{tag}>")
+            if self._startswith("</"):
+                self.pos += 2
+                close_tag = self._read_name()
+                if close_tag != tag:
+                    raise self._fail(
+                        f"Mismatched close tag </{close_tag}> for <{tag}>"
+                    )
+                self._skip_whitespace()
+                self._expect(">")
+                flush_text()
+                self._strip_ignorable_whitespace(node)
+                return
+            if self._startswith("<!--"):
+                self._skip_comment()
+            elif self._startswith("<![CDATA["):
+                end = self.source.find("]]>", self.pos)
+                if end == -1:
+                    raise self._fail("Unterminated CDATA section")
+                text_parts.append(self.source[self.pos + 9 : end])
+                self.pos = end + 3
+            elif self._startswith("<?"):
+                self._skip_processing_instruction()
+            elif self._startswith("<"):
+                flush_text()
+                node.append(self._parse_element())
+            else:
+                next_tag = self.source.find("<", self.pos)
+                if next_tag == -1:
+                    raise self._fail(f"Unclosed element <{tag}>")
+                raw = self.source[self.pos : next_tag]
+                self.pos = next_tag
+                text_parts.append(self._expand_entities(raw))
+
+    @staticmethod
+    def _strip_ignorable_whitespace(node: Element) -> None:
+        """Drop whitespace-only T-children when element siblings exist."""
+        has_element_child = any(isinstance(c, Element) for c in node.children)
+        if not has_element_child:
+            return
+        node.children = [
+            child
+            for child in node.children
+            if not (isinstance(child, Text) and not child.text.strip())
+        ]
+
+
+def parse_document(source: str) -> Element:
+    """Parse an XML document string into an :class:`Element` tree."""
+    return _Parser(source).parse_document()
+
+
+def parse_file(path: str) -> Element:
+    """Parse the XML document stored at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_document(handle.read())

@@ -1,0 +1,91 @@
+"""Value equality ``=v`` and value ordering ``<v`` (Appendix A.3, A.6).
+
+Two nodes are *value equal* when the trees rooted at them are isomorphic
+by an isomorphism that is the identity on string values: element children
+are compared as an ordered list, attributes as a set (here: a
+lexicographically sorted list, per Appendix A.6).
+
+The total order ``<v`` extends equality and is the order Nested Merge
+uses to sort keyed siblings (Sec. 4.2).  Kinds are ordered
+T-node < A-node < E-node, and within each kind the paper's lexicographic
+rules apply.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Union
+
+from .model import Attribute, Element, Text
+
+Value = Union[Element, Text, Attribute]
+
+_KIND_ORDER = {Text: 0, Attribute: 1, Element: 2}
+
+
+def value_equal(a: Value, b: Value) -> bool:
+    """Return ``True`` when ``a =v b``."""
+    return compare_values(a, b) == 0
+
+
+def value_less(a: Value, b: Value) -> bool:
+    """Return ``True`` when ``a <v b``."""
+    return compare_values(a, b) < 0
+
+
+def compare_values(a: Value, b: Value) -> int:
+    """Three-way comparison implementing the paper's total order on values.
+
+    Returns a negative number when ``a <v b``, zero when ``a =v b`` and a
+    positive number otherwise.
+    """
+    kind_a = _KIND_ORDER[type(a)]
+    kind_b = _KIND_ORDER[type(b)]
+    if kind_a != kind_b:
+        return -1 if kind_a < kind_b else 1
+    if isinstance(a, Text):
+        assert isinstance(b, Text)
+        return _cmp(a.text, b.text)
+    if isinstance(a, Attribute):
+        assert isinstance(b, Attribute)
+        return _cmp((a.name, a.value), (b.name, b.value))
+    assert isinstance(a, Element) and isinstance(b, Element)
+    return _compare_elements(a, b)
+
+
+def _compare_elements(a: Element, b: Element) -> int:
+    if a.tag != b.tag:
+        return _cmp(a.tag, b.tag)
+    # Ordered list of E/T children (Appendix A.6, <=l).
+    if len(a.children) != len(b.children):
+        return _cmp(len(a.children), len(b.children))
+    for child_a, child_b in zip(a.children, b.children):
+        result = compare_values(child_a, child_b)
+        if result != 0:
+            return result
+    # Set of attributes, compared as sorted name/value pairs (<=s).
+    attrs_a = sorted((attr.name, attr.value) for attr in a.attributes)
+    attrs_b = sorted((attr.name, attr.value) for attr in b.attributes)
+    if len(attrs_a) != len(attrs_b):
+        return _cmp(len(attrs_a), len(attrs_b))
+    return _cmp(attrs_a, attrs_b)
+
+
+def _cmp(a, b) -> int:
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def sort_by_value(nodes: list[Element]) -> list[Element]:
+    """Return ``nodes`` sorted by the ``<v`` order (stable)."""
+    return sorted(nodes, key=cmp_to_key(compare_values))
+
+
+def value_list_equal(a: list, b: list) -> bool:
+    """Value equality of two ordered node lists (``=l`` in Appendix A.6)."""
+    if len(a) != len(b):
+        return False
+    return all(compare_values(x, y) == 0 for x, y in zip(a, b))

@@ -1,0 +1,209 @@
+"""A small XPath evaluator for the paper's data model.
+
+The paper's Sec. 8 argument for the XML archive representation is that
+"existing XML query languages such as XQuery can be used to query such
+documents".  This module makes that concrete at XPath scale: a query
+engine over our Element trees — which include archives, since an
+archive *is* an XML document — supporting the fragment scientific
+users actually write:
+
+* ``/db/dept/emp``         — child steps from the root;
+* ``//tel``                — descendant-or-self anywhere;
+* ``/db/*/emp``            — wildcard steps;
+* ``/db/dept[name='x']``   — child-value predicates;
+* ``//T[@t='3']``          — attribute predicates (timestamp elements!);
+* ``/db/dept[2]``          — positional predicates (1-based);
+* ``text()`` final step    — string values instead of nodes.
+
+Predicates may be chained (``emp[fn='John'][ln='Doe']``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from .model import Element, Text
+
+
+class XPathError(ValueError):
+    """Raised on unsupported or malformed expressions."""
+
+
+Predicate = Callable[[Element, int], bool]
+
+
+@dataclass
+class _Step:
+    axis: str  # 'child' or 'descendant'
+    name: str  # tag name, '*' or 'text()'
+    predicates: list[Predicate]
+
+
+def _parse_predicate(text: str) -> Predicate:
+    body = text.strip()
+    if body.isdigit():
+        position = int(body)
+        if position < 1:
+            raise XPathError(f"Positional predicate must be >= 1: [{body}]")
+        return lambda node, index: index == position
+    if "=" not in body:
+        raise XPathError(f"Unsupported predicate [{body}]")
+    left, right = body.split("=", 1)
+    left = left.strip()
+    right = right.strip()
+    if not (
+        (right.startswith("'") and right.endswith("'"))
+        or (right.startswith('"') and right.endswith('"'))
+    ):
+        raise XPathError(f"Predicate value must be quoted: [{body}]")
+    value = right[1:-1]
+    if left.startswith("@"):
+        name = left[1:]
+        return lambda node, index: node.get_attribute(name) == value
+    if left == "text()":
+        return lambda node, index: node.text_content() == value
+    return lambda node, index: any(
+        child.text_content() == value for child in node.find_all(left)
+    )
+
+
+def _split_predicates(step_text: str) -> tuple[str, list[Predicate]]:
+    name_end = step_text.find("[")
+    if name_end == -1:
+        return step_text, []
+    name = step_text[:name_end]
+    predicates: list[Predicate] = []
+    rest = step_text[name_end:]
+    while rest:
+        if not rest.startswith("["):
+            raise XPathError(f"Malformed predicates in step {step_text!r}")
+        depth = 0
+        for position, char in enumerate(rest):
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth == 0:
+                    predicates.append(_parse_predicate(rest[1:position]))
+                    rest = rest[position + 1 :]
+                    break
+        else:
+            raise XPathError(f"Unbalanced predicate in step {step_text!r}")
+    return name, predicates
+
+
+def _parse(expression: str) -> list[_Step]:
+    text = expression.strip()
+    if not text.startswith("/"):
+        raise XPathError(f"Only absolute paths are supported: {expression!r}")
+    steps: list[_Step] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        if text.startswith("//", index):
+            axis = "descendant"
+            index += 2
+        elif text.startswith("/", index):
+            axis = "child"
+            index += 1
+        else:
+            raise XPathError(f"Expected '/' at offset {index} in {expression!r}")
+        depth = 0
+        start = index
+        while index < length:
+            char = text[index]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == "/" and depth == 0:
+                break
+            index += 1
+        step_text = text[start:index]
+        if not step_text:
+            raise XPathError(f"Empty step in {expression!r}")
+        name, predicates = _split_predicates(step_text)
+        steps.append(_Step(axis=axis, name=name, predicates=predicates))
+    return steps
+
+
+def _match_name(node: Element, name: str) -> bool:
+    return name == "*" or node.tag == name
+
+
+def _apply_step(nodes: list[Element], step: _Step) -> list[Element]:
+    # Gather candidates per context node so positional predicates see
+    # sibling-relative positions, then filter.
+    results: list[Element] = []
+    seen: set[int] = set()
+    for context in nodes:
+        if step.axis == "child":
+            candidates = [
+                child
+                for child in context.element_children()
+                if _match_name(child, step.name)
+            ]
+        else:
+            candidates = [
+                node
+                for node in context.iter_elements()
+                if _match_name(node, step.name)
+            ]
+        position = 0
+        for candidate in candidates:
+            position += 1
+            if all(pred(candidate, position) for pred in step.predicates):
+                if id(candidate) not in seen:
+                    seen.add(id(candidate))
+                    results.append(candidate)
+    return results
+
+
+def xpath(root: Element, expression: str) -> Union[list[Element], list[str]]:
+    """Evaluate an XPath expression against a document.
+
+    The first step must match the document root (as in XPath, where the
+    root element is the single child of the document node).  A final
+    ``text()`` step returns string values; otherwise elements.
+    """
+    steps = _parse(expression)
+    if not steps:
+        raise XPathError("Empty expression")
+    want_text = steps and steps[-1].name == "text()"
+    if want_text:
+        text_step = steps.pop()
+        if text_step.predicates:
+            raise XPathError("text() takes no predicates")
+        if text_step.axis != "child":
+            raise XPathError("text() must be a child step")
+    if not steps:
+        raise XPathError("text() needs a preceding element step")
+
+    first = steps[0]
+    if first.axis == "child":
+        current = (
+            [root]
+            if _match_name(root, first.name)
+            and all(pred(root, 1) for pred in first.predicates)
+            else []
+        )
+    else:
+        current = _apply_step([_virtual_root(root)], first)
+    for step in steps[1:]:
+        current = _apply_step(current, step)
+    if want_text:
+        return [node.text_content() for node in current]
+    return current
+
+
+def _virtual_root(root: Element) -> Element:
+    shell = Element("#document")
+    shell.children = [root]  # no re-parenting; shell is throwaway
+    return shell
+
+
+def xpath_first(root: Element, expression: str):
+    """First result of :func:`xpath`, or ``None``."""
+    results = xpath(root, expression)
+    return results[0] if results else None

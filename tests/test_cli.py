@@ -1,0 +1,124 @@
+"""Tests for the ``xarch`` command-line interface (repro.cli)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.data.company import COMPANY_KEY_TEXT, company_versions
+from repro.xmltree import parse_file, write_file
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    os.makedirs(tmp_path, exist_ok=True)
+    keys = tmp_path / "keys.txt"
+    keys.write_text(COMPANY_KEY_TEXT, encoding="utf-8")
+    for number, version in enumerate(company_versions(), start=1):
+        write_file(version, str(tmp_path / f"v{number}.xml"))
+    return tmp_path
+
+
+def run(*argv) -> int:
+    return main([str(part) for part in argv])
+
+
+class TestInitAdd:
+    def test_init_creates_archive_and_keys(self, workspace):
+        archive = workspace / "archive.xml"
+        assert run("init", archive, "--keys", workspace / "keys.txt") == 0
+        assert archive.exists()
+        assert (workspace / "archive.xml.keys").exists()
+
+    def test_init_refuses_overwrite(self, workspace):
+        archive = workspace / "archive.xml"
+        run("init", archive, "--keys", workspace / "keys.txt")
+        with pytest.raises(SystemExit):
+            run("init", archive, "--keys", workspace / "keys.txt")
+
+    def test_init_force(self, workspace):
+        archive = workspace / "archive.xml"
+        run("init", archive, "--keys", workspace / "keys.txt")
+        assert run("init", archive, "--keys", workspace / "keys.txt", "--force") == 0
+
+    def test_add_versions(self, workspace, capsys):
+        archive = workspace / "archive.xml"
+        run("init", archive, "--keys", workspace / "keys.txt")
+        code = run(
+            "add", archive,
+            workspace / "v1.xml", workspace / "v2.xml",
+            workspace / "v3.xml", workspace / "v4.xml",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "version 4" in out
+
+
+@pytest.fixture
+def loaded(workspace):
+    archive = workspace / "archive.xml"
+    run("init", archive, "--keys", workspace / "keys.txt")
+    run(
+        "add", archive,
+        workspace / "v1.xml", workspace / "v2.xml",
+        workspace / "v3.xml", workspace / "v4.xml",
+    )
+    return archive
+
+
+class TestQueries:
+    def test_get_to_file(self, loaded, tmp_path):
+        out = tmp_path / "out.xml"
+        assert run("get", loaded, "3", "-o", out) == 0
+        document = parse_file(str(out))
+        assert len(document.find_all("dept")) == 2
+
+    def test_get_to_stdout(self, loaded, capsys):
+        assert run("get", loaded, "1") == 0
+        assert "<name>finance</name>" in capsys.readouterr().out
+
+    def test_log(self, loaded, capsys):
+        code = run(
+            "log", loaded, "/db/dept[name=finance]/emp[fn=John, ln=Doe]"
+        )
+        assert code == 0
+        assert "3-4" in capsys.readouterr().out
+
+    def test_log_missing_element_clean_error(self, loaded, capsys):
+        assert run("log", loaded, "/db/dept[name=hr]") == 1
+        assert "xarch:" in capsys.readouterr().err
+
+    def test_diff(self, loaded, capsys):
+        assert run("diff", loaded, "3", "4") == 0
+        out = capsys.readouterr().out
+        assert "deleted /db/dept[name=marketing]" in out
+        assert "changed" in out
+
+    def test_stats(self, loaded, capsys):
+        assert run("stats", loaded) == 0
+        out = capsys.readouterr().out
+        assert "versions:           4" in out
+
+
+class TestMine:
+    def test_mine_to_stdout(self, workspace, capsys):
+        code = run("mine", workspace / "v3.xml", workspace / "v4.xml")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(/db, (dept, {name}))" in out
+
+    def test_mined_keys_usable_for_init(self, workspace, tmp_path):
+        mined = tmp_path / "mined.txt"
+        run(
+            "mine", workspace / "v1.xml", workspace / "v2.xml",
+            workspace / "v3.xml", workspace / "v4.xml", "-o", mined,
+        )
+        archive = tmp_path / "mined-archive.xml"
+        assert run("init", archive, "--keys", mined) == 0
+        assert run("add", archive, workspace / "v1.xml") == 0
+
+    def test_missing_keys_message(self, workspace, tmp_path):
+        orphan = tmp_path / "no-keys.xml"
+        orphan.write_text('<T t=""><root/></T>', encoding="utf-8")
+        with pytest.raises(SystemExit):
+            run("stats", orphan)

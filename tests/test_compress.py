@@ -1,0 +1,126 @@
+"""Tests for the compression substrate (gzip-equivalent + XMill-sim)."""
+
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    compress,
+    compressed_size,
+    decompress,
+    deflate,
+    gzip_concatenated_size,
+    gzip_pieces_size,
+    gzip_size,
+    inflate,
+)
+from repro.data.company import company_versions
+from repro.xmltree import Element, Text, element, parse_document, to_pretty_string, value_equal
+
+
+class TestGzipper:
+    def test_deflate_round_trip(self):
+        data = b"hello " * 100
+        assert inflate(deflate(data)) == data
+
+    def test_gzip_size_close_to_zlib(self):
+        text = "abc " * 500
+        zlib_size = len(zlib.compress(text.encode(), 9))
+        assert abs(gzip_size(text) - zlib_size) <= 20
+
+    def test_compressible_text_shrinks(self):
+        text = "repeated line\n" * 200
+        assert gzip_size(text) < len(text.encode()) / 10
+
+    def test_pieces_vs_concatenated(self):
+        pieces = [f"<rec><id>{i}</id></rec>" for i in range(50)]
+        # One stream compresses better than 50 tiny ones.
+        assert gzip_concatenated_size(pieces) < gzip_pieces_size(pieces)
+
+    def test_empty_text(self):
+        assert gzip_size("") > 0  # framing still costs bytes
+
+
+class TestXMill:
+    def test_round_trip_company(self):
+        for version in company_versions():
+            result = compress(version)
+            assert value_equal(decompress(result), version)
+
+    def test_round_trip_attributes(self):
+        doc = parse_document(
+            '<site><item id="i1" cat="c9"><name>thing</name></item></site>'
+        )
+        assert value_equal(decompress(compress(doc)), doc)
+
+    def test_round_trip_mixed_content(self):
+        doc = parse_document("<p>hello <b>bold</b> world</p>")
+        assert value_equal(decompress(compress(doc)), doc)
+
+    def test_large_containers_grouped_by_path(self):
+        body = "".join(
+            f"<rec><id>{'x' * 200}{i}</id><val>{'y' * 200}{i}</val></rec>"
+            for i in range(40)
+        )
+        result = compress(parse_document(f"<db>{body}</db>"))
+        assert "/db/rec/id/#text" in result.containers
+        assert "/db/rec/val/#text" in result.containers
+
+    def test_small_containers_bundled(self):
+        doc = parse_document(
+            "<db><rec><id>1</id><val>x</val></rec><rec><id>2</id><val>y</val></rec></db>"
+        )
+        result = compress(doc)
+        assert not result.containers  # everything is tiny → bundled
+        assert result.bundle
+
+    def test_beats_gzip_on_self_similar_documents(self):
+        """The XMill advantage: per-path grouping of repetitive values."""
+        records = "".join(
+            f"<rec><id>{i:06d}</id><date>2001-0{1 + i % 9}-11</date>"
+            f"<status>CONFIRMED</status><score>0.{i % 100:02d}</score></rec>"
+            for i in range(400)
+        )
+        doc = parse_document(f"<db>{records}</db>")
+        text = to_pretty_string(doc)
+        assert compressed_size(doc) < gzip_size(text)
+
+    def test_empty_document(self):
+        doc = Element("empty")
+        assert value_equal(decompress(compress(doc)), doc)
+
+    def test_deep_document(self):
+        doc = element("a", element("b", element("c", element("d", "leaf"))))
+        assert value_equal(decompress(compress(doc)), doc)
+
+
+_tags = st.sampled_from(["a", "b", "c"])
+_texts = st.text(alphabet="xyz0189 <&", min_size=1, max_size=8)
+
+
+@st.composite
+def _documents(draw, depth=3):
+    node = Element(draw(_tags))
+    if draw(st.booleans()):
+        node.set_attribute(draw(st.sampled_from(["p", "q"])), draw(_texts))
+    count = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(count):
+        if depth > 0 and draw(st.booleans()):
+            node.append(draw(_documents(depth=depth - 1)))
+        else:
+            node.append(Text(draw(_texts)))
+    return node
+
+
+class TestXMillProperties:
+    @given(_documents())
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, doc):
+        assert value_equal(decompress(compress(doc)), doc)
+
+    @given(_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_size_positive_and_bounded(self, doc):
+        size = compressed_size(doc)
+        assert size > 0

@@ -1,0 +1,130 @@
+"""Direct unit tests for the frontier weave (core.compaction)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VersionSet
+from repro.core.compaction import (
+    content_to_lines,
+    lines_to_content,
+    merge_weave,
+    weave_content_at,
+    weave_from_content,
+)
+from repro.xmltree import Text, parse_document, value_list_equal
+
+
+def content(source: str):
+    return list(parse_document(f"<w>{source}</w>").children)
+
+
+class TestLineCodec:
+    def test_elements_become_lines(self):
+        lines = content_to_lines(content("<a>1</a><b><c>2</c></b>"))
+        assert lines[0] == "<a>1</a>"
+        assert "<b>" in lines
+
+    def test_text_becomes_one_wrapped_line(self):
+        lines = content_to_lines([Text("line one\nline two")])
+        assert lines == ["<weave-text>line one&#10;line two</weave-text>"]
+
+    def test_round_trip(self):
+        original = content("<a>1</a>text<b/>")
+        again = lines_to_content(content_to_lines(original))
+        assert value_list_equal(original, again)
+
+    def test_escaped_text_round_trips(self):
+        original = [Text("a < b & c")]
+        again = lines_to_content(content_to_lines(original))
+        assert again[0].text == "a < b & c"
+
+    def test_empty(self):
+        assert lines_to_content([]) == []
+        assert content_to_lines([]) == []
+
+
+class TestWeaveMerge:
+    def test_initial_weave(self):
+        weave = weave_from_content(content("<a>1</a>"), VersionSet([1]))
+        assert weave.lines_at(1) == ["<a>1</a>"]
+
+    def test_unchanged_content_augments_timestamps(self):
+        weave = weave_from_content(content("<a>1</a>"), VersionSet([1]))
+        changed = merge_weave(weave, content("<a>1</a>"), 2)
+        assert not changed
+        assert weave.lines_at(2) == ["<a>1</a>"]
+        assert len(weave.segments) == 1
+
+    def test_partial_change_shares_lines(self):
+        weave = weave_from_content(
+            content("<a>1</a><b>2</b><c>3</c>"), VersionSet([1])
+        )
+        merge_weave(weave, content("<a>1</a><b>CHANGED</b><c>3</c>"), 2)
+        # a and c lines shared; only b stored twice: a, b, b', c.
+        assert weave.line_count() == 4
+        assert weave.lines_at(1) == ["<a>1</a>", "<b>2</b>", "<c>3</c>"]
+        assert weave.lines_at(2) == ["<a>1</a>", "<b>CHANGED</b>", "<c>3</c>"]
+
+    def test_line_reappearing_after_empty_state_is_reshared(self):
+        """The weave aligns against the last *recorded* state, so a
+        line deleted to empty and reinserted identically is stored once
+        (timestamps 1,3) — reconstruction stays exact."""
+        weave = weave_from_content(content("<x/>"), VersionSet([1]))
+        merge_weave(weave, [], 2)
+        merge_weave(weave, content("<x/>"), 3)
+        assert weave.line_count() == 1
+        assert weave.lines_at(1) == ["<x/>"]
+        assert weave.lines_at(2) == []
+        assert weave.lines_at(3) == ["<x/>"]
+
+    def test_line_reappearing_after_other_content_is_duplicated(self):
+        """Classic SCCS duplication: A -> B -> A stores A twice."""
+        weave = weave_from_content(content("<a>A</a>"), VersionSet([1]))
+        merge_weave(weave, content("<b>B</b>"), 2)
+        merge_weave(weave, content("<a>A</a>"), 3)
+        assert weave.line_count() == 3
+        for number, expected in [(1, "<a>A</a>"), (2, "<b>B</b>"), (3, "<a>A</a>")]:
+            assert weave.lines_at(number) == [expected]
+
+    def test_content_at_parses_back(self):
+        weave = weave_from_content(content("<a>1</a><b>2</b>"), VersionSet([1]))
+        merge_weave(weave, content("<a>1</a>"), 2)
+        rebuilt = weave_content_at(weave, 1)
+        assert value_list_equal(rebuilt, content("<a>1</a><b>2</b>"))
+
+    def test_empty_initial_content(self):
+        weave = weave_from_content([], VersionSet([1]))
+        merge_weave(weave, content("<a/>"), 2)
+        assert weave.lines_at(1) == []
+        assert weave.lines_at(2) == ["<a/>"]
+
+
+_line_pools = st.lists(
+    st.sampled_from(["<a>1</a>", "<b>2</b>", "<c>3</c>", "<d/>", "<e>x</e>"]),
+    max_size=5,
+    unique=True,
+)
+
+
+class TestWeaveProperties:
+    @given(st.lists(_line_pools, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_every_version_reconstructs(self, version_contents):
+        contents = [content("".join(lines)) for lines in version_contents]
+        weave = weave_from_content(contents[0], VersionSet([1]))
+        for number, item in enumerate(contents[1:], start=2):
+            merge_weave(weave, item, number)
+        for number, item in enumerate(contents, start=1):
+            assert value_list_equal(weave_content_at(weave, number), item)
+
+    @given(st.lists(_line_pools, min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_line_count_bounded_by_total(self, version_contents):
+        contents = [content("".join(lines)) for lines in version_contents]
+        weave = weave_from_content(contents[0], VersionSet([1]))
+        total_lines = len(content_to_lines(contents[0]))
+        for number, item in enumerate(contents[1:], start=2):
+            merge_weave(weave, item, number)
+            total_lines += len(content_to_lines(item))
+        # Sharing can only reduce the count below storing all versions.
+        assert weave.line_count() <= total_lines

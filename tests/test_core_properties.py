@@ -1,0 +1,167 @@
+"""Property-based integration tests of the archiver.
+
+Random sequences of keyed database states are archived; every stored
+version must be reconstructable exactly (up to keyed-sibling order), in
+every archiver configuration, with the timestamp-superset invariant and
+the XML round-trip holding throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Archive,
+    ArchiveOptions,
+    Fingerprinter,
+    documents_equivalent,
+)
+from repro.data.company import company_key_spec
+from repro.xmltree import Element, Text
+
+_names = st.sampled_from(["ann", "bob", "cat", "dan", "eve", "fay"])
+_salaries = st.sampled_from(["10K", "20K", "30K", "40K"])
+_tels = st.sets(st.sampled_from(["111", "222", "333", "444"]), max_size=3)
+
+
+@st.composite
+def _employee(draw):
+    return {
+        "fn": draw(_names),
+        "ln": draw(_names),
+        "sal": draw(st.one_of(st.none(), _salaries)),
+        "tels": sorted(draw(_tels)),
+    }
+
+
+@st.composite
+def _state(draw):
+    """One database state: departments with unique names, employees with
+    unique (fn, ln) within a department."""
+    dept_names = draw(
+        st.sets(st.sampled_from(["dx", "dy", "dz"]), min_size=0, max_size=3)
+    )
+    state = {}
+    for name in sorted(dept_names):
+        employees = draw(st.lists(_employee(), max_size=4))
+        unique = {}
+        for emp in employees:
+            unique[(emp["fn"], emp["ln"])] = emp
+        state[name] = unique
+    return state
+
+
+def _state_to_document(state) -> Element:
+    db = Element("db")
+    for dept_name, employees in state.items():
+        dept = db.append(Element("dept"))
+        name = dept.append(Element("name"))
+        name.append(Text(dept_name))
+        for (fn, ln), emp in employees.items():
+            emp_el = dept.append(Element("emp"))
+            emp_el.append(Element("fn")).append(Text(fn))
+            emp_el.append(Element("ln")).append(Text(ln))
+            if emp["sal"] is not None:
+                emp_el.append(Element("sal")).append(Text(emp["sal"]))
+            for tel in emp["tels"]:
+                emp_el.append(Element("tel")).append(Text(tel))
+    return db
+
+
+_version_sequences = st.lists(_state(), min_size=1, max_size=5)
+
+_configurations = st.sampled_from(
+    [
+        ArchiveOptions(),
+        ArchiveOptions(compaction=True),
+        ArchiveOptions(fingerprinter=Fingerprinter(bits=64)),
+        ArchiveOptions(fingerprinter=Fingerprinter(bits=2)),  # force collisions
+        ArchiveOptions(fingerprinter=Fingerprinter(bits=64), compaction=True),
+    ]
+)
+
+
+class TestArchiveProperties:
+    @given(_version_sequences, _configurations)
+    @settings(max_examples=40, deadline=None)
+    def test_retrieval_fidelity(self, states, options):
+        spec = company_key_spec()
+        archive = Archive(spec, options)
+        documents = [_state_to_document(state) for state in states]
+        for document in documents:
+            archive.add_version(document.copy())
+        for number, original in enumerate(documents, start=1):
+            rebuilt = archive.retrieve(number)
+            assert rebuilt is not None
+            assert documents_equivalent(rebuilt, original, spec)
+
+    @given(_version_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_timestamp_superset_invariant(self, states):
+        spec = company_key_spec()
+        archive = Archive(spec)
+        for state in states:
+            archive.add_version(_state_to_document(state))
+
+        def check(node, inherited):
+            timestamp = node.effective_timestamp(inherited)
+            assert inherited.issuperset(timestamp), (
+                f"{node.label}: {timestamp.to_text()} not within "
+                f"{inherited.to_text()}"
+            )
+            for child in node.children:
+                check(child, timestamp)
+            if node.alternatives is not None:
+                for alternative in node.alternatives:
+                    if alternative.timestamp is not None:
+                        assert timestamp.issuperset(alternative.timestamp)
+
+        for child in archive.root.children:
+            check(child, archive.root.timestamp)
+
+    @given(_version_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_xml_round_trip(self, states):
+        spec = company_key_spec()
+        archive = Archive(spec)
+        for state in states:
+            archive.add_version(_state_to_document(state))
+        revived = Archive.from_xml_string(archive.to_xml_string(), spec)
+        assert revived.to_xml_string() == archive.to_xml_string()
+        for number in range(1, len(states) + 1):
+            a = archive.retrieve(number)
+            b = revived.retrieve(number)
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert documents_equivalent(a, b, spec)
+
+    @given(_version_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_alternative_timestamps_partition_existence(self, states):
+        """Frontier alternatives cover the node's whole existence without
+        overlap once timestamps become explicit."""
+        spec = company_key_spec()
+        archive = Archive(spec)
+        for state in states:
+            archive.add_version(_state_to_document(state))
+
+        def check(node, inherited):
+            timestamp = node.effective_timestamp(inherited)
+            if node.alternatives is not None and len(node.alternatives) > 1:
+                union = None
+                total = 0
+                for alternative in node.alternatives:
+                    assert alternative.timestamp is not None
+                    total += len(alternative.timestamp)
+                    union = (
+                        alternative.timestamp.copy()
+                        if union is None
+                        else union.union(alternative.timestamp)
+                    )
+                assert union == timestamp
+                assert total == len(timestamp)  # pairwise disjoint
+            for child in node.children:
+                check(child, timestamp)
+
+        for child in archive.root.children:
+            check(child, archive.root.timestamp)

@@ -1,0 +1,123 @@
+"""Tests for re-archiving under a changed key structure (core.respec)."""
+
+import pytest
+
+from repro.core import (
+    Archive,
+    checkpoint_archive,
+    documents_equivalent,
+    rearchive,
+)
+from repro.data.company import company_key_spec, company_versions
+from repro.keys import KeySpec, key
+
+
+def company_archive():
+    archive = Archive(company_key_spec())
+    for version in company_versions():
+        archive.add_version(version)
+    return archive
+
+
+class TestRearchive:
+    def test_same_spec_preserves_everything(self):
+        archive = company_archive()
+        rebuilt = rearchive(archive, company_key_spec())
+        assert rebuilt.last_version == 4
+        for number in range(1, 5):
+            assert documents_equivalent(
+                rebuilt.retrieve(number), archive.retrieve(number), archive.spec
+            )
+
+    def test_key_structure_change(self):
+        """Migrate: employees were keyed by (fn, ln); the schema now
+        keys them by ln alone (valid for this data)."""
+        archive = company_archive()
+        new_spec = KeySpec(
+            explicit_keys=[
+                key("/", "db"),
+                key("/db", "dept", ("name",)),
+                key("/db/dept", "emp", ("ln",)),
+                key("/db/dept/emp", "fn"),
+                key("/db/dept/emp", "sal"),
+                key("/db/dept/emp", "tel", (".",)),
+            ]
+        )
+        rebuilt = rearchive(archive, new_spec)
+        history = rebuilt.history("/db/dept[name=finance]/emp[ln=Doe]")
+        assert history.existence.to_text() == "3-4"
+        for number in range(1, 5):
+            assert documents_equivalent(
+                rebuilt.retrieve(number), archive.retrieve(number), new_spec
+            )
+
+    def test_incompatible_spec_names_failing_version(self):
+        archive = company_archive()
+        # Keying employees by sal fails: version 2's Jane has no sal.
+        bad_spec = KeySpec(
+            explicit_keys=[
+                key("/", "db"),
+                key("/db", "dept", ("name",)),
+                key("/db/dept", "emp", ("sal",)),
+                key("/db/dept/emp", "fn"),
+                key("/db/dept/emp", "ln"),
+                key("/db/dept/emp", "tel", (".",)),
+            ]
+        )
+        with pytest.raises(ValueError, match="version 2"):
+            rearchive(archive, bad_spec)
+
+    def test_since_drops_old_history(self):
+        archive = company_archive()
+        rebuilt = rearchive(archive, company_key_spec(), since=3)
+        assert rebuilt.last_version == 2
+        assert documents_equivalent(
+            rebuilt.retrieve(1), archive.retrieve(3), archive.spec
+        )
+        assert documents_equivalent(
+            rebuilt.retrieve(2), archive.retrieve(4), archive.spec
+        )
+
+    def test_empty_versions_preserved(self):
+        archive = Archive(company_key_spec())
+        archive.add_version(company_versions()[0])
+        archive.add_version(None)
+        archive.add_version(company_versions()[1])
+        rebuilt = rearchive(archive, company_key_spec())
+        assert rebuilt.retrieve(2) is None
+
+    def test_bad_since(self):
+        archive = company_archive()
+        with pytest.raises(ValueError):
+            rearchive(archive, company_key_spec(), since=0)
+        with pytest.raises(ValueError):
+            rearchive(archive, company_key_spec(), since=9)
+
+
+class TestCheckpointArchive:
+    def test_keeps_last_k(self):
+        archive = company_archive()
+        fresh = checkpoint_archive(archive, keep_last=2)
+        assert fresh.last_version == 2
+        assert documents_equivalent(
+            fresh.retrieve(2), archive.retrieve(4), archive.spec
+        )
+
+    def test_keep_more_than_available(self):
+        archive = company_archive()
+        fresh = checkpoint_archive(archive, keep_last=99)
+        assert fresh.last_version == 4
+
+    def test_checkpointing_shrinks_archive(self):
+        from repro.data import OmimGenerator, omim_key_spec
+
+        spec = omim_key_spec()
+        archive = Archive(spec)
+        for version in OmimGenerator(seed=2, initial_records=20).generate_versions(8):
+            archive.add_version(version)
+        fresh = checkpoint_archive(archive, keep_last=2)
+        assert fresh.stats().serialized_bytes < archive.stats().serialized_bytes
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            checkpoint_archive(company_archive(), keep_last=0)

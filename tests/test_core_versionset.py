@@ -1,0 +1,185 @@
+"""Tests for interval-encoded timestamps (repro.core.versionset)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VersionSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        vs = VersionSet()
+        assert len(vs) == 0
+        assert not vs
+        assert vs.to_text() == ""
+
+    def test_from_iterable_merges_runs(self):
+        vs = VersionSet([3, 1, 2, 7, 9, 8])
+        assert vs.intervals() == [(1, 3), (7, 9)]
+
+    def test_from_intervals(self):
+        vs = VersionSet.from_intervals([(1, 3), (5, 5)])
+        assert list(vs) == [1, 2, 3, 5]
+
+    def test_parse_paper_notation(self):
+        vs = VersionSet.parse("1-3,5,7-9")
+        assert set(vs) == {1, 2, 3, 5, 7, 8, 9}
+
+    def test_parse_empty(self):
+        assert not VersionSet.parse("")
+
+    def test_text_round_trip(self):
+        text = "1-3,5,7-9"
+        assert VersionSet.parse(text).to_text() == text
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            VersionSet([0])
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            VersionSet().add_range(5, 3)
+
+
+class TestMutation:
+    def test_add_extends_interval(self):
+        vs = VersionSet([1, 2])
+        vs.add(3)
+        assert vs.intervals() == [(1, 3)]
+
+    def test_add_bridges_gap(self):
+        vs = VersionSet([1, 3])
+        vs.add(2)
+        assert vs.intervals() == [(1, 3)]
+
+    def test_add_idempotent(self):
+        vs = VersionSet([1, 2, 3])
+        vs.add(2)
+        assert vs.intervals() == [(1, 3)]
+
+    def test_discard_middle_splits(self):
+        vs = VersionSet([1, 2, 3])
+        vs.discard(2)
+        assert vs.intervals() == [(1, 1), (3, 3)]
+
+    def test_discard_absent_noop(self):
+        vs = VersionSet([1, 3])
+        vs.discard(2)
+        assert vs.intervals() == [(1, 1), (3, 3)]
+
+    def test_without_is_nonmutating(self):
+        vs = VersionSet([1, 2, 3])
+        trimmed = vs.without(3)
+        assert 3 in vs
+        assert 3 not in trimmed
+
+
+class TestQueries:
+    def test_contains(self):
+        vs = VersionSet.parse("1-3,5,7-9")
+        assert 2 in vs
+        assert 5 in vs
+        assert 4 not in vs
+        assert 10 not in vs
+
+    def test_min_max(self):
+        vs = VersionSet.parse("2-4,9")
+        assert vs.min_version() == 2
+        assert vs.max_version() == 9
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            VersionSet().min_version()
+
+    def test_superset(self):
+        big = VersionSet.parse("1-10")
+        small = VersionSet.parse("2-4,7")
+        assert big.issuperset(small)
+        assert not small.issuperset(big)
+
+    def test_superset_of_empty(self):
+        assert VersionSet().issuperset(VersionSet())
+        assert VersionSet([1]).issuperset(VersionSet())
+
+    def test_interval_count(self):
+        assert VersionSet.parse("1-3,5,7-9").interval_count() == 3
+
+    def test_equality_and_hash(self):
+        assert VersionSet([1, 2]) == VersionSet.parse("1-2")
+        assert hash(VersionSet([1, 2])) == hash(VersionSet.parse("1-2"))
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = VersionSet.parse("1-3")
+        b = VersionSet.parse("3-5,9")
+        assert a.union(b).to_text() == "1-5,9"
+
+    def test_intersection(self):
+        a = VersionSet.parse("1-5")
+        b = VersionSet.parse("4-8")
+        assert a.intersection(b).to_text() == "4-5"
+
+    def test_difference(self):
+        a = VersionSet.parse("1-5")
+        b = VersionSet.parse("2,4")
+        assert a.difference(b).to_text() == "1,3,5"
+
+    def test_copy_independent(self):
+        a = VersionSet([1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+
+# -- property-based ------------------------------------------------------------
+
+_sets = st.frozensets(st.integers(min_value=1, max_value=60), max_size=25)
+
+
+class TestVersionSetProperties:
+    @given(_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_set_semantics(self, values):
+        vs = VersionSet(values)
+        assert set(vs) == set(values)
+        assert len(vs) == len(values)
+
+    @given(_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_text_round_trip(self, values):
+        vs = VersionSet(values)
+        assert VersionSet.parse(vs.to_text()) == vs
+
+    @given(_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_intervals_sorted_disjoint_nonadjacent(self, values):
+        intervals = VersionSet(values).intervals()
+        for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+            assert hi1 + 1 < lo2
+
+    @given(_sets, _sets)
+    @settings(max_examples=80, deadline=None)
+    def test_union_matches_sets(self, a, b):
+        assert set(VersionSet(a).union(VersionSet(b))) == a | b
+
+    @given(_sets, _sets)
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_matches_sets(self, a, b):
+        assert set(VersionSet(a).intersection(VersionSet(b))) == a & b
+
+    @given(_sets, _sets)
+    @settings(max_examples=80, deadline=None)
+    def test_difference_matches_sets(self, a, b):
+        assert set(VersionSet(a).difference(VersionSet(b))) == a - b
+
+    @given(_sets, _sets)
+    @settings(max_examples=80, deadline=None)
+    def test_superset_matches_sets(self, a, b):
+        assert VersionSet(a).issuperset(VersionSet(b)) == (a >= b)
+
+    @given(_sets, st.integers(min_value=1, max_value=60))
+    @settings(max_examples=80, deadline=None)
+    def test_contains_matches_sets(self, values, probe):
+        assert (probe in VersionSet(values)) == (probe in values)

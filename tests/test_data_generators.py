@@ -1,0 +1,156 @@
+"""Tests for the synthetic dataset generators and change simulators."""
+
+import pytest
+
+from repro.core import Archive, documents_equivalent
+from repro.data import (
+    OmimChangeRates,
+    OmimGenerator,
+    SwissProtGenerator,
+    XMarkGenerator,
+    omim_key_spec,
+    swissprot_key_spec,
+    xmark_key_spec,
+)
+from repro.keys import annotate_keys, check_document
+from repro.xmltree import serialized_size
+
+
+class TestOmimGenerator:
+    def test_deterministic(self):
+        a = OmimGenerator(seed=5, initial_records=10).generate_versions(3)
+        b = OmimGenerator(seed=5, initial_records=10).generate_versions(3)
+        from repro.xmltree import to_string
+
+        assert [to_string(v) for v in a] == [to_string(v) for v in b]
+
+    def test_satisfies_keys_across_versions(self):
+        spec = omim_key_spec()
+        for version in OmimGenerator(seed=1, initial_records=15).generate_versions(4):
+            assert not check_document(version, spec)
+
+    def test_accretive_growth(self):
+        versions = OmimGenerator(seed=2, initial_records=20).generate_versions(6)
+        sizes = [serialized_size(v) for v in versions]
+        assert sizes[-1] > sizes[0]
+        counts = [len(v.find_all("Record")) for v in versions]
+        assert counts == sorted(counts)  # monotone: mostly additions
+
+    def test_change_mix_mostly_insertions(self):
+        """Consecutive versions share almost all records (OMIM profile)."""
+        versions = OmimGenerator(seed=3, initial_records=50).generate_versions(2)
+        nums_v1 = {r.find("Num").text_content() for r in versions[0].find_all("Record")}
+        nums_v2 = {r.find("Num").text_content() for r in versions[1].find_all("Record")}
+        shared = nums_v1 & nums_v2
+        assert len(shared) >= 0.98 * len(nums_v1)
+        assert len(nums_v2) >= len(nums_v1)
+
+    def test_archivable(self):
+        spec = omim_key_spec()
+        versions = OmimGenerator(seed=4, initial_records=12).generate_versions(3)
+        archive = Archive(spec)
+        for version in versions:
+            archive.add_version(version)
+        for number, original in enumerate(versions, start=1):
+            assert documents_equivalent(archive.retrieve(number), original, spec)
+
+    def test_custom_rates(self):
+        rates = OmimChangeRates(delete_fraction=0.5, insert_fraction=0.0)
+        generator = OmimGenerator(seed=5, initial_records=20, rates=rates)
+        versions = generator.generate_versions(2)
+        counts = [len(v.find_all("Record")) for v in versions]
+        assert counts[1] < counts[0]
+
+    def test_rejects_zero_versions(self):
+        with pytest.raises(ValueError):
+            OmimGenerator().generate_versions(0)
+
+
+class TestSwissProtGenerator:
+    def test_satisfies_keys_across_versions(self):
+        spec = swissprot_key_spec()
+        for version in SwissProtGenerator(seed=1, initial_records=12).generate_versions(3):
+            assert not check_document(version, spec)
+
+    def test_fast_growth(self):
+        """Swiss-Prot's insert rate (26%) dwarfs OMIM's (0.2%)."""
+        versions = SwissProtGenerator(seed=2, initial_records=30).generate_versions(5)
+        counts = [len(v.find_all("Record")) for v in versions]
+        assert counts[-1] > 1.3 * counts[0]
+
+    def test_records_have_sequences(self):
+        version = SwissProtGenerator(seed=3, initial_records=5).initial_version()
+        for record in version.find_all("Record"):
+            sequence = record.find("sequence")
+            assert sequence is not None
+            assert len(sequence.text_content()) > 50
+
+    def test_archivable(self):
+        spec = swissprot_key_spec()
+        versions = SwissProtGenerator(seed=4, initial_records=10).generate_versions(3)
+        archive = Archive(spec)
+        for version in versions:
+            archive.add_version(version)
+        for number, original in enumerate(versions, start=1):
+            assert documents_equivalent(archive.retrieve(number), original, spec)
+
+
+class TestXMarkGenerator:
+    def test_satisfies_keys(self):
+        spec = xmark_key_spec()
+        site = XMarkGenerator(seed=1, items=30, people=15, auctions=10).initial_version()
+        assert not check_document(site, spec)
+
+    def test_structure_covers_regions_and_auctions(self):
+        site = XMarkGenerator(seed=2, items=30, people=15, auctions=10).initial_version()
+        assert site.find("regions") is not None
+        assert len(site.find("people").find_all("person")) == 15
+        assert len(site.find("open_auctions").find_all("open_auction")) == 10
+        total_items = sum(
+            len(region.find_all("item"))
+            for region in site.find("regions").element_children()
+        )
+        assert total_items == 30
+
+    def test_attribute_keys_annotate(self):
+        spec = xmark_key_spec()
+        site = XMarkGenerator(seed=3, items=10, people=5, auctions=4).initial_version()
+        annotated = annotate_keys(site, spec)
+        items = [n for n in site.iter_elements() if n.tag == "item"]
+        labels = {str(annotated.label(item)) for item in items}
+        assert len(labels) == len(items)  # ids keep items distinct
+
+    def test_random_changes_keep_keys_valid(self):
+        spec = xmark_key_spec()
+        generator = XMarkGenerator(seed=4, items=30, people=15, auctions=10)
+        for version in generator.versions_random(4, 10.0):
+            assert not check_document(version, spec)
+
+    def test_random_changes_change_record_count_only_via_balance(self):
+        generator = XMarkGenerator(seed=5, items=30, people=15, auctions=10)
+        v1 = generator.initial_version()
+        v2 = generator.apply_random_changes(v1, 10.0)
+        count = lambda site: len(  # noqa: E731
+            [n for n in site.iter_elements() if n.tag in ("item", "person", "open_auction")]
+        )
+        assert count(v2) == count(v1)  # deletions balanced by insertions
+
+    def test_key_mutation_preserves_content_shape(self):
+        generator = XMarkGenerator(seed=6, items=30, people=15, auctions=10)
+        v1 = generator.initial_version()
+        v2 = generator.apply_key_mutation(v1, 10.0)
+        ids_v1 = {n.get_attribute("id") for n in v1.iter_elements() if n.get_attribute("id")}
+        ids_v2 = {n.get_attribute("id") for n in v2.iter_elements() if n.get_attribute("id")}
+        assert ids_v1 != ids_v2
+        # Same number of records — only identities moved.
+        assert len(ids_v1) == len(ids_v2)
+
+    def test_worst_case_archivable(self):
+        spec = xmark_key_spec()
+        generator = XMarkGenerator(seed=7, items=20, people=10, auctions=8)
+        versions = generator.versions_worst_case(3, 10.0)
+        archive = Archive(spec)
+        for version in versions:
+            archive.add_version(version)
+        for number, original in enumerate(versions, start=1):
+            assert documents_equivalent(archive.retrieve(number), original, spec)

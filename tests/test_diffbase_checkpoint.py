@@ -1,0 +1,121 @@
+"""Tests for the checkpointed delta repository (diffbase.checkpoint)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import documents_equivalent
+from repro.data.company import company_key_spec, company_versions
+from repro.diffbase import (
+    CheckpointedDiffRepository,
+    FullCopyRepository,
+    IncrementalDiffRepository,
+)
+
+
+class TestCheckpointedRepository:
+    @pytest.mark.parametrize("interval", [1, 2, 3, 10])
+    def test_round_trips(self, interval):
+        repo = CheckpointedDiffRepository(interval)
+        spec = company_key_spec()
+        for version in company_versions():
+            repo.add_version(version)
+        for number, original in enumerate(company_versions(), start=1):
+            assert documents_equivalent(repo.retrieve(number), original, spec)
+
+    def test_interval_one_is_full_copies(self):
+        repo = CheckpointedDiffRepository(1)
+        full = FullCopyRepository()
+        for version in company_versions():
+            repo.add_version(version)
+            full.add_version(version)
+        assert repo.total_bytes() == full.total_bytes()
+        assert repo.checkpoint_count() == 4
+
+    def test_large_interval_matches_incremental(self):
+        repo = CheckpointedDiffRepository(100)
+        incremental = IncrementalDiffRepository()
+        for version in company_versions():
+            repo.add_version(version)
+            incremental.add_version(version)
+        assert repo.total_bytes() == incremental.total_bytes()
+        assert repo.checkpoint_count() == 1
+
+    @pytest.mark.parametrize("interval", [2, 3])
+    def test_applications_bounded(self, interval):
+        repo = CheckpointedDiffRepository(interval)
+        for version in company_versions():
+            repo.add_version(version)
+        for version in range(1, 5):
+            assert repo.applications_for(version) <= interval - 1
+
+    def test_checkpoint_versions_are_free(self):
+        repo = CheckpointedDiffRepository(2)
+        for version in company_versions():
+            repo.add_version(version)
+        assert repo.applications_for(1) == 0
+        assert repo.applications_for(3) == 0  # versions 1, 3 are checkpoints
+        assert repo.applications_for(2) == 1
+        assert repo.applications_for(4) == 1
+
+    def test_empty_versions(self):
+        repo = CheckpointedDiffRepository(2)
+        repo.add_version(company_versions()[0])
+        repo.add_version(None)
+        repo.add_version(company_versions()[1])
+        assert repo.retrieve(2) is None
+        assert repo.retrieve(3) is not None
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointedDiffRepository(0)
+
+    def test_out_of_range(self):
+        repo = CheckpointedDiffRepository(2)
+        repo.add_version(company_versions()[0])
+        with pytest.raises(IndexError):
+            repo.retrieve(2)
+        with pytest.raises(IndexError):
+            repo.applications_for(0)
+
+
+class TestCheckpointSpaceTimeTradeoff:
+    def test_space_decreases_with_interval(self):
+        """Bigger interval → fewer snapshots → less space (accretive data)."""
+        from repro.data import OmimGenerator
+
+        versions = OmimGenerator(seed=5, initial_records=20).generate_versions(8)
+        sizes = {}
+        for interval in (1, 2, 4, 100):
+            repo = CheckpointedDiffRepository(interval)
+            for version in versions:
+                repo.add_version(version)
+            sizes[interval] = repo.total_bytes()
+        assert sizes[1] > sizes[2] > sizes[4] > sizes[100]
+
+
+_version_texts = st.lists(
+    st.lists(st.sampled_from(["p", "q", "r"]), min_size=0, max_size=5),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestCheckpointProperties:
+    @given(_version_texts, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_every_version_retrievable(self, contents, interval):
+        from repro.xmltree import Element, Text
+
+        repo = CheckpointedDiffRepository(interval)
+        documents = []
+        for lines in contents:
+            doc = Element("doc")
+            for line in lines:
+                doc.append(Element("line")).append(Text(line))
+            documents.append(doc)
+            repo.add_version(doc)
+        from repro.xmltree import to_string
+
+        for number, document in enumerate(documents, start=1):
+            assert to_string(repo.retrieve(number)) == to_string(document)

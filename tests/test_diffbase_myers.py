@@ -1,0 +1,146 @@
+"""Tests for the Myers diff and ed-style edit scripts."""
+
+import difflib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffbase import (
+    EditScriptError,
+    apply_script,
+    apply_text,
+    common_lines,
+    diff_lines,
+    diff_text,
+    edit_distance,
+    make_script,
+    parse_script,
+    render_script,
+)
+
+
+class TestDiffLines:
+    def test_identical(self):
+        ops = diff_lines(["a", "b"], ["a", "b"])
+        assert [op.kind for op in ops] == ["equal"]
+
+    def test_empty_to_lines(self):
+        ops = diff_lines([], ["a", "b"])
+        assert [op.kind for op in ops] == ["insert"]
+
+    def test_lines_to_empty(self):
+        ops = diff_lines(["a", "b"], [])
+        assert [op.kind for op in ops] == ["delete"]
+
+    def test_both_empty(self):
+        assert diff_lines([], []) == []
+
+    def test_single_change(self):
+        ops = diff_lines(["a", "b", "c"], ["a", "x", "c"])
+        kinds = [op.kind for op in ops]
+        assert kinds == ["equal", "delete", "insert", "equal"] or kinds == [
+            "equal",
+            "insert",
+            "delete",
+            "equal",
+        ]
+
+    def test_opcodes_partition_both_sequences(self):
+        a = ["a", "b", "c", "d"]
+        b = ["b", "c", "x", "d", "y"]
+        ops = diff_lines(a, b)
+        assert ops[0].a_start == 0 and ops[0].b_start == 0
+        for op, nxt in zip(ops, ops[1:]):
+            assert op.a_end == nxt.a_start
+            assert op.b_end == nxt.b_start
+        assert ops[-1].a_end == len(a)
+        assert ops[-1].b_end == len(b)
+
+    def test_edit_distance_minimal_known_case(self):
+        # Classic Myers example: ABCABBA -> CBABAC has edit distance 5.
+        a = list("ABCABBA")
+        b = list("CBABAC")
+        assert edit_distance(a, b) == 5
+
+    def test_common_lines(self):
+        assert common_lines(["a", "b", "c"], ["a", "c"]) == 2
+
+
+class TestEditScripts:
+    def test_change_command_format_matches_figure1(self):
+        """Fig. 1's diff output uses the terse '2,3c' form."""
+        old = ["<gene>", "<id>6230</id>", "<name>GRTM</name>", "</gene>"]
+        new = ["<gene>", "<id>2953</id>", "<name>ACV2</name>", "</gene>"]
+        script = render_script(make_script(old, new))
+        assert script.startswith("2,3c\n")
+        assert "<id>2953</id>" in script
+
+    def test_apply_reconstructs(self):
+        old = ["a", "b", "c", "d"]
+        new = ["a", "x", "y", "d", "e"]
+        commands = make_script(old, new)
+        assert apply_script(old, commands) == new
+
+    def test_render_parse_round_trip(self):
+        old = ["a", "b", "c"]
+        new = ["a", "q", "c", "r"]
+        commands = make_script(old, new)
+        assert parse_script(render_script(commands)) == commands
+
+    def test_text_round_trip(self):
+        old = "line one\nline two\nline three"
+        new = "line one\nchanged\nline three\nline four"
+        assert apply_text(old, diff_text(old, new)) == new
+
+    def test_empty_script_for_identical(self):
+        assert diff_text("same\ntext", "same\ntext") == ""
+
+    def test_apply_rejects_out_of_range(self):
+        with pytest.raises(EditScriptError):
+            apply_text("a\nb", "9,9d\n")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(EditScriptError):
+            parse_script("not a command\n")
+
+    def test_parse_rejects_unterminated_append(self):
+        with pytest.raises(EditScriptError):
+            parse_script("1a\nline without dot")
+
+
+_line_lists = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "x", "y"]), max_size=14
+)
+
+
+class TestDiffProperties:
+    @given(_line_lists, _line_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_apply_round_trip(self, a, b):
+        assert apply_script(a, make_script(a, b)) == b
+
+    @given(_line_lists, _line_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_minimality_vs_difflib(self, a, b):
+        """Myers is optimal; difflib (heuristic) can never beat it."""
+        matcher = difflib.SequenceMatcher(a=a, b=b, autojunk=False)
+        difflib_common = sum(block.size for block in matcher.get_matching_blocks())
+        difflib_distance = (len(a) - difflib_common) + (len(b) - difflib_common)
+        assert edit_distance(a, b) <= difflib_distance
+
+    @given(_line_lists, _line_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_render_parse_round_trip(self, a, b):
+        commands = make_script(a, b)
+        assert parse_script(render_script(commands)) == commands
+
+    @given(_line_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_self_diff_is_empty(self, a):
+        assert make_script(a, a) == []
+
+    @given(_line_lists, _line_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_distance_symmetric(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)

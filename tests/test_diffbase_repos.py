@@ -1,0 +1,196 @@
+"""Tests for delta repositories and the SCCS weave."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VersionSet, documents_equivalent
+from repro.data.company import company_key_spec, company_versions
+from repro.diffbase import (
+    CumulativeDiffRepository,
+    FullCopyRepository,
+    IncrementalDiffRepository,
+    SCCSWeave,
+)
+from repro.xmltree import to_pretty_string
+
+
+class TestIncrementalRepository:
+    def test_round_trips_company_versions(self):
+        repo = IncrementalDiffRepository()
+        spec = company_key_spec()
+        versions = company_versions()
+        for version in versions:
+            repo.add_version(version)
+        for number, original in enumerate(versions, start=1):
+            assert documents_equivalent(repo.retrieve(number), original, spec)
+
+    def test_applications_grow_linearly(self):
+        repo = IncrementalDiffRepository()
+        for version in company_versions():
+            repo.add_version(version)
+        assert repo.applications_for(1) == 0
+        assert repo.applications_for(4) == 3
+
+    def test_empty_version_round_trip(self):
+        repo = IncrementalDiffRepository()
+        repo.add_version(company_versions()[0])
+        repo.add_version(None)
+        repo.add_version(company_versions()[1])
+        assert repo.retrieve(2) is None
+        assert repo.retrieve(3) is not None
+
+    def test_size_grows_with_change_not_with_versions(self):
+        repo = IncrementalDiffRepository()
+        version = company_versions()[3]
+        repo.add_version(version)
+        size_after_one = repo.total_bytes()
+        for _ in range(5):
+            repo.add_version(version)  # no change at all
+        assert repo.total_bytes() == size_after_one  # empty scripts
+
+    def test_out_of_range(self):
+        repo = IncrementalDiffRepository()
+        repo.add_version(company_versions()[0])
+        with pytest.raises(IndexError):
+            repo.retrieve(2)
+
+
+class TestCumulativeRepository:
+    def test_round_trips(self):
+        repo = CumulativeDiffRepository()
+        spec = company_key_spec()
+        versions = company_versions()
+        for version in versions:
+            repo.add_version(version)
+        for number, original in enumerate(versions, start=1):
+            assert documents_equivalent(repo.retrieve(number), original, spec)
+
+    def test_one_application_retrieval(self):
+        repo = CumulativeDiffRepository()
+        for version in company_versions():
+            repo.add_version(version)
+        assert repo.applications_for(1) == 0
+        assert all(repo.applications_for(v) == 1 for v in (2, 3, 4))
+
+    def test_grows_faster_than_incremental(self):
+        """Sec. 5.2: cumulative deltas repeat accumulated changes."""
+        incremental = IncrementalDiffRepository()
+        cumulative = CumulativeDiffRepository()
+        # A document that keeps accreting records.
+        from repro.xmltree import parse_document
+
+        for count in range(1, 14):
+            body = "".join(
+                f"<rec><id>{i}</id><val>value number {i}</val></rec>"
+                for i in range(count * 5)
+            )
+            document = parse_document(f"<db>{body}</db>")
+            incremental.add_version(document)
+            cumulative.add_version(document)
+        assert cumulative.total_bytes() > 1.5 * incremental.total_bytes()
+
+
+class TestFullCopyRepository:
+    def test_round_trips(self):
+        repo = FullCopyRepository()
+        spec = company_key_spec()
+        for version in company_versions():
+            repo.add_version(version)
+        for number, original in enumerate(company_versions(), start=1):
+            assert documents_equivalent(repo.retrieve(number), original, spec)
+
+    def test_total_is_sum_of_versions(self):
+        repo = FullCopyRepository()
+        expected = 0
+        for version in company_versions():
+            repo.add_version(version)
+            expected += len(to_pretty_string(version).encode("utf-8"))
+        assert repo.total_bytes() == expected
+
+    def test_concatenated_contains_all(self):
+        repo = FullCopyRepository()
+        for version in company_versions():
+            repo.add_version(version)
+        blob = repo.concatenated()
+        assert blob.count("<db>") == 4
+
+
+class TestSCCSWeave:
+    def test_retrieval(self):
+        weave = SCCSWeave()
+        weave.add_version(["a", "b", "c"])
+        weave.add_version(["a", "x", "c"])
+        weave.add_version(["a", "x", "c", "d"])
+        assert weave.retrieve(1) == ["a", "b", "c"]
+        assert weave.retrieve(2) == ["a", "x", "c"]
+        assert weave.retrieve(3) == ["a", "x", "c", "d"]
+
+    def test_unchanged_lines_stored_once(self):
+        weave = SCCSWeave()
+        weave.add_version(["common"] * 10)
+        weave.add_version(["common"] * 10)
+        assert len(weave.lines) == 10
+
+    def test_reinserted_line_duplicated(self):
+        """The SCCS weakness the paper notes in Sec. 8: no keys, so a
+        deleted-then-reinserted line occurs twice in the weave."""
+        weave = SCCSWeave()
+        weave.add_version(["keep", "flicker"])
+        weave.add_version(["keep"])
+        weave.add_version(["keep", "flicker"])
+        assert len(weave.line_history("flicker")) == 2
+
+    def test_serialize_round_trip(self):
+        weave = SCCSWeave()
+        weave.add_version(["a", "b"])
+        weave.add_version(["b", "c"])
+        revived = SCCSWeave.deserialize(weave.serialize())
+        assert revived.retrieve(1) == ["a", "b"]
+        assert revived.retrieve(2) == ["b", "c"]
+        assert revived.version_count == 2
+
+    def test_deserialize_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SCCSWeave.deserialize("nonsense")
+
+    def test_out_of_range(self):
+        weave = SCCSWeave()
+        weave.add_version(["a"])
+        with pytest.raises(IndexError):
+            weave.retrieve(2)
+
+    def test_version_timestamps_are_interval_sets(self):
+        weave = SCCSWeave()
+        for _ in range(5):
+            weave.add_version(["stable"])
+        (history,) = weave.line_history("stable")
+        assert history == VersionSet.parse("1-5")
+
+
+_version_lists = st.lists(
+    st.lists(st.sampled_from(["p", "q", "r", "s", "t"]), max_size=8),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestWeaveProperties:
+    @given(_version_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_every_version_retrievable(self, versions):
+        weave = SCCSWeave()
+        for lines in versions:
+            weave.add_version(lines)
+        for number, lines in enumerate(versions, start=1):
+            assert weave.retrieve(number) == lines
+
+    @given(_version_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_round_trip(self, versions):
+        weave = SCCSWeave()
+        for lines in versions:
+            weave.add_version(lines)
+        revived = SCCSWeave.deserialize(weave.serialize())
+        for number, lines in enumerate(versions, start=1):
+            assert revived.retrieve(number) == lines

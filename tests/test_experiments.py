@@ -1,0 +1,130 @@
+"""Tests for the experiment harness and figure drivers (small scale)."""
+
+import pytest
+
+from repro.data.company import company_key_spec, company_versions
+from repro.experiments import (
+    dataset_statistics,
+    figure7_statistics,
+    figure11_omim,
+    figure12_omim,
+    figure13_xmark,
+    figure14_worstcase,
+    render_figure,
+    render_series,
+    render_statistics,
+    run_storage_experiment,
+)
+
+
+class TestHarness:
+    def test_series_lengths_match(self):
+        series = run_storage_experiment(
+            "company", company_versions(), company_key_spec()
+        )
+        count = len(company_versions())
+        assert series.versions == list(range(1, count + 1))
+        for data in series.lines().values():
+            assert len(data) == count
+
+    def test_without_compression(self):
+        series = run_storage_experiment(
+            "company",
+            company_versions(),
+            company_key_spec(),
+            with_compression=False,
+        )
+        assert not series.gzip_incremental_bytes
+        assert not series.xmill_archive_bytes
+        assert series.archive_bytes
+
+    def test_sizes_monotone_for_archive(self):
+        series = run_storage_experiment(
+            "company", company_versions(), company_key_spec(), with_compression=False
+        )
+        for a, b in zip(series.archive_bytes, series.archive_bytes[1:]):
+            assert b >= a
+
+    def test_overhead_metric(self):
+        series = run_storage_experiment(
+            "company", company_versions(), company_key_spec(), with_compression=False
+        )
+        assert series.overhead_vs_incremental() >= 1.0
+
+    def test_final_unknown_series_raises(self):
+        series = run_storage_experiment(
+            "company",
+            company_versions(),
+            company_key_spec(),
+            with_compression=False,
+        )
+        with pytest.raises(ValueError):
+            series.final("gzip_incremental_bytes")
+
+    def test_dataset_statistics(self):
+        stats = dataset_statistics("company", company_versions()[3])
+        assert stats.size_bytes > 100
+        assert stats.node_count > 10
+        assert stats.height == 4
+
+
+class TestFigureDrivers:
+    """Small-scale sanity runs of each figure driver."""
+
+    def test_figure7(self):
+        rows = figure7_statistics(scale=0.3)
+        names = [row.name for row in rows]
+        assert names == ["OMIM", "Swiss-Prot", "XMark"]
+        # The paper's height column: OMIM 5, Swiss-Prot 6, XMark 12-ish.
+        omim, swissprot, xmark = rows
+        # Paper Fig. 7 heights: OMIM 5, Swiss-Prot 6, XMark 12.  Our
+        # generated subsets are slightly shallower for Swiss-Prot/XMark
+        # (fields like xref/parlist are out of the generated subset).
+        assert omim.height == 5
+        assert swissprot.height >= 5
+        assert xmark.height >= 5
+
+    def test_figure11_omim_claims(self):
+        result = figure11_omim()  # the full default run; the quadratic
+        # blow-up of cumulative diffs needs enough versions to show
+        assert result.all_claims_hold(), render_figure(result)
+
+    def test_figure12_omim_claims(self):
+        result = figure12_omim(version_count=10)
+        assert result.all_claims_hold(), render_figure(result)
+
+    def test_figure13_small(self):
+        result = figure13_xmark(10.0, version_count=5)
+        series = result.series[0]
+        assert len(series.versions) == 5
+        # Both repositories grow with churn.
+        assert series.incremental_bytes[-1] > series.incremental_bytes[0]
+        assert series.archive_bytes[-1] > series.archive_bytes[0]
+
+    def test_figure14_small(self):
+        result = figure14_worstcase(10.0, version_count=5)
+        series = result.series[0]
+        # The signature shape: archive grows much faster than the repo.
+        archive_growth = series.archive_bytes[-1] - series.archive_bytes[0]
+        repo_growth = series.incremental_bytes[-1] - series.incremental_bytes[0]
+        assert archive_growth > 3 * repo_growth
+
+
+class TestReport:
+    def test_render_series_contains_all_lines(self):
+        series = run_storage_experiment(
+            "company", company_versions(), company_key_spec()
+        )
+        text = render_series(series)
+        for label in series.lines():
+            assert label in text
+
+    def test_render_figure_shows_claims(self):
+        result = figure11_omim(version_count=8)
+        text = render_figure(result)
+        assert "Figure 11a" in text
+        assert "PASS" in text or "FAIL" in text
+
+    def test_render_statistics(self):
+        text = render_statistics(figure7_statistics(scale=0.3))
+        assert "OMIM" in text and "Swiss-Prot" in text and "XMark" in text

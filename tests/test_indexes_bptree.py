@@ -1,0 +1,125 @@
+"""Tests for the B+ tree and the B+-backed key index (indexes.bptree)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Archive
+from repro.data import OmimGenerator, omim_key_spec
+from repro.data.company import company_key_spec, company_versions
+from repro.indexes import BPlusKeyIndex, BPlusTree, KeyIndex
+
+
+class TestBPlusTree:
+    def test_insert_and_search(self):
+        tree = BPlusTree(branching=4)
+        for value in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0]:
+            tree.insert(value, value * 10)
+        for value in range(10):
+            assert tree.search(value) == value * 10
+        assert tree.search(99) is None
+
+    def test_replace_existing(self):
+        tree = BPlusTree(branching=4)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.search("k") == 2
+        assert len(tree) == 1
+
+    def test_items_sorted(self):
+        tree = BPlusTree(branching=4)
+        import random
+
+        values = list(range(200))
+        random.Random(7).shuffle(values)
+        for value in values:
+            tree.insert(value, value)
+        assert [key for key, _ in tree.items()] == list(range(200))
+
+    def test_range_search(self):
+        tree = BPlusTree(branching=4)
+        for value in range(100):
+            tree.insert(value, value)
+        found = [key for key, _ in tree.range_search(25, 31)]
+        assert found == list(range(25, 32))
+
+    def test_height_logarithmic(self):
+        tree = BPlusTree(branching=8)
+        for value in range(4096):
+            tree.insert(value, value)
+        # log_4(4096) = 6; splits at b/2 keys give base ~b/2.
+        assert tree.height() <= 8
+
+    def test_probe_count_reported(self):
+        tree = BPlusTree(branching=4)
+        for value in range(500):
+            tree.insert(value, value)
+        probes = [0]
+        tree.search(250, probes)
+        assert 1 <= probes[0] <= tree.height()
+
+    def test_rejects_tiny_branching(self):
+        with pytest.raises(ValueError):
+            BPlusTree(branching=2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_semantics(self, values):
+        tree = BPlusTree(branching=5)
+        reference = {}
+        for value in values:
+            tree.insert(value, value + 1)
+            reference[value] = value + 1
+        assert len(tree) == len(reference)
+        for key_value in reference:
+            assert tree.search(key_value) == reference[key_value]
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+
+class TestBPlusKeyIndex:
+    def test_matches_flat_key_index(self):
+        spec = omim_key_spec()
+        archive = Archive(spec)
+        for version in OmimGenerator(seed=5, initial_records=60).generate_versions(3):
+            archive.add_version(version)
+        flat = KeyIndex(archive)
+        bplus = BPlusKeyIndex(archive, branching=8)
+        document = archive.retrieve(archive.last_version)
+        for record in document.find_all("Record")[:20]:
+            num = record.find("Num").text_content()
+            path = f"/ROOT/Record[Num={num}]"
+            assert bplus.history(path)[0] == flat.history(path)[0]
+
+    def test_paper_example(self):
+        archive = Archive(company_key_spec())
+        for version in company_versions():
+            archive.add_version(version)
+        index = BPlusKeyIndex(archive)
+        timestamps, probes = index.history(
+            "/db/dept[name=finance]/emp[fn=John, ln=Doe]"
+        )
+        assert timestamps.to_text() == "3-4"
+        assert probes >= 2
+
+    def test_missing_element(self):
+        archive = Archive(company_key_spec())
+        for version in company_versions():
+            archive.add_version(version)
+        index = BPlusKeyIndex(archive)
+        from repro.core import ArchiveError
+
+        with pytest.raises(ArchiveError):
+            index.history("/db/dept[name=hr]")
+
+    def test_probes_logarithmic_in_degree(self):
+        spec = omim_key_spec()
+        archive = Archive(spec)
+        archive.add_version(
+            OmimGenerator(seed=6, initial_records=300).initial_version()
+        )
+        index = BPlusKeyIndex(archive, branching=16)
+        document = archive.retrieve(1)
+        num = document.find("Record").find("Num").text_content()
+        _, probes = index.history(f"/ROOT/Record[Num={num}]")
+        # 300 records at branching 16: 2-3 levels, plus the root step.
+        assert probes <= 8

@@ -1,0 +1,187 @@
+"""Tests for Annotate Keys (Sec. 4.1) and key validation."""
+
+import pytest
+
+from repro.data.company import company_key_spec, company_version
+from repro.keys import (
+    KeyCoverageError,
+    KeyLabel,
+    KeyViolationError,
+    annotate_keys,
+    check_document,
+    empty_spec,
+    iter_keyed_nodes,
+    key,
+    KeySpec,
+    parse_key_spec,
+    satisfies,
+)
+from repro.xmltree import parse_document
+
+
+@pytest.fixture
+def spec():
+    return company_key_spec()
+
+
+class TestAnnotateCompany:
+    def test_version4_emp_labels(self, spec):
+        doc = annotate_keys(company_version(4), spec)
+        emp_labels = {
+            str(label)
+            for node, label in iter_keyed_nodes(doc)
+            if node.tag == "emp"
+        }
+        assert emp_labels == {
+            "emp{fn=John, ln=Doe}",
+            "emp{fn=Jane, ln=Smith}",
+        }
+
+    def test_dept_label(self, spec):
+        doc = annotate_keys(company_version(4), spec)
+        dept = doc.root.find("dept")
+        assert str(doc.label(dept)) == "dept{name=finance}"
+
+    def test_tel_keyed_by_contents(self, spec):
+        doc = annotate_keys(company_version(4), spec)
+        tels = [
+            str(label)
+            for node, label in iter_keyed_nodes(doc)
+            if node.tag == "tel"
+        ]
+        assert "tel{.=123-4567}" in tels
+        assert "tel{.=112-3456}" in tels
+
+    def test_singleton_keys_have_empty_key(self, spec):
+        doc = annotate_keys(company_version(4), spec)
+        sal = doc.root.find("dept").find("emp").find("sal")
+        assert doc.label(sal) == KeyLabel(tag="sal", key=())
+
+    def test_frontier_classification(self, spec):
+        doc = annotate_keys(company_version(4), spec)
+        dept = doc.root.find("dept")
+        emp = dept.find("emp")
+        assert doc.is_frontier(dept.find("name"))
+        assert doc.is_frontier(emp.find("sal"))
+        assert not doc.is_frontier(emp)
+        assert not doc.is_frontier(doc.root)
+
+    def test_all_versions_annotate(self, spec):
+        for number in range(1, 5):
+            doc = annotate_keys(company_version(number), spec)
+            assert doc.label(doc.root) is not None
+
+    def test_same_name_different_dept_allowed(self, spec):
+        # Version 3 has John Doe in both finance and marketing.
+        doc = annotate_keys(company_version(3), spec)
+        emps = [n for n, lab in iter_keyed_nodes(doc) if n.tag == "emp"]
+        assert len(emps) == 2
+
+
+class TestAnnotateViolations:
+    def test_missing_key_path(self, spec):
+        doc = parse_document("<db><dept><name>x</name><emp><fn>A</fn></emp></dept></db>")
+        with pytest.raises(KeyViolationError):
+            annotate_keys(doc, spec)
+
+    def test_duplicate_key_path(self, spec):
+        doc = parse_document(
+            "<db><dept><name>x</name>"
+            "<emp><fn>A</fn><fn>B</fn><ln>C</ln></emp></dept></db>"
+        )
+        with pytest.raises(KeyViolationError):
+            annotate_keys(doc, spec)
+
+    def test_duplicate_siblings(self, spec):
+        doc = parse_document(
+            "<db><dept><name>x</name>"
+            "<emp><fn>A</fn><ln>B</ln></emp>"
+            "<emp><fn>A</fn><ln>B</ln></emp>"
+            "</dept></db>"
+        )
+        with pytest.raises(KeyViolationError):
+            annotate_keys(doc, spec)
+
+    def test_uncovered_node(self, spec):
+        doc = parse_document(
+            "<db><dept><name>x</name><mystery/></dept></db>"
+        )
+        with pytest.raises(KeyCoverageError):
+            annotate_keys(doc, spec)
+
+    def test_stray_text_above_frontier(self, spec):
+        doc = parse_document("<db><dept>stray<name>x</name></dept></db>")
+        with pytest.raises(KeyCoverageError):
+            annotate_keys(doc, spec)
+
+
+class TestAnnotateEdgeCases:
+    def test_empty_spec_makes_root_frontier(self):
+        doc = parse_document("<lines><line>a</line><line>a</line></lines>")
+        annotated = annotate_keys(doc, empty_spec())
+        assert annotated.is_frontier(annotated.root)
+
+    def test_attribute_key(self):
+        spec = KeySpec(explicit_keys=[key("/", "site"), key("/site", "item", ("id",))])
+        doc = parse_document('<site><item id="i1"/><item id="i2"/></site>')
+        annotated = annotate_keys(doc, spec)
+        labels = {str(lab) for _, lab in iter_keyed_nodes(annotated) if lab.tag == "item"}
+        assert labels == {"item{id=i1}", "item{id=i2}"}
+
+    def test_content_beyond_frontier_unlabeled(self, spec):
+        doc = parse_document(
+            "<db><dept><name>x</name>"
+            "<emp><fn>A</fn><ln>B</ln><tel><area>215</area></tel></emp>"
+            "</dept></db>"
+        )
+        annotated = annotate_keys(doc, spec)
+        tel = annotated.root.find("dept").find("emp").find("tel")
+        area = tel.find("area")
+        assert annotated.label(area) is None
+
+
+class TestSatisfaction:
+    def test_company_versions_satisfy(self, spec):
+        for number in range(1, 5):
+            assert satisfies(company_version(number), spec)
+
+    def test_paper_appendix_example(self):
+        # Appendix A.4: the document violates (/DB/A, {B}) but satisfies
+        # (/DB/A, {C}).
+        doc = parse_document(
+            "<DB><A><B>1</B><C>1</C></A><A><B>1</B><C>2</C></A></DB>"
+        )
+        spec_b = KeySpec(explicit_keys=[key("/", "DB"), key("/DB", "A", ("B",))])
+        spec_c = KeySpec(explicit_keys=[key("/", "DB"), key("/DB", "A", ("C",))])
+        assert not satisfies(doc, spec_b)
+        assert satisfies(doc, spec_c)
+
+    def test_violations_carry_messages(self, spec):
+        doc = parse_document(
+            "<db><dept><name>x</name></dept><dept><name>x</name></dept></db>"
+        )
+        violations = check_document(doc, spec)
+        assert violations
+        assert any("share the key value" in str(v) for v in violations)
+
+    def test_empty_key_allows_at_most_one(self):
+        spec = KeySpec(explicit_keys=[key("/", "db"), key("/db", "meta")])
+        doc = parse_document("<db><meta/><meta/></db>")
+        assert not satisfies(doc, spec)
+
+
+class TestKeyedLabelOrdering:
+    def test_sort_token_orders_by_tag_first(self):
+        a = KeyLabel(tag="a", key=(("k", "z"),))
+        b = KeyLabel(tag="b", key=(("k", "a"),))
+        assert a.sort_token() < b.sort_token()
+
+    def test_sort_token_orders_by_value(self):
+        a = KeyLabel(tag="emp", key=(("fn", "Jane"),))
+        b = KeyLabel(tag="emp", key=(("fn", "John"),))
+        assert a.sort_token() < b.sort_token()
+
+    def test_fewer_components_first(self):
+        a = KeyLabel(tag="emp", key=())
+        b = KeyLabel(tag="emp", key=(("fn", "A"),))
+        assert a.sort_token() < b.sort_token()

@@ -1,0 +1,122 @@
+"""Tests for key inference (keys.mining) — Sec. 9's open question."""
+
+import pytest
+
+from repro.core import Archive, documents_equivalent
+from repro.data import (
+    OmimGenerator,
+    SwissProtGenerator,
+    XMarkGenerator,
+)
+from repro.data.company import company_versions
+from repro.keys import mine_keys, satisfies
+from repro.xmltree import parse_document
+
+
+class TestMineCompany:
+    def test_mined_spec_satisfied_by_all_versions(self):
+        versions = company_versions()
+        report = mine_keys(versions)
+        for version in versions:
+            assert satisfies(version, report.spec)
+
+    def test_mined_spec_archives_faithfully(self):
+        versions = company_versions()
+        report = mine_keys(versions)
+        archive = Archive(report.spec)
+        for version in versions:
+            archive.add_version(version.copy())
+        for number, original in enumerate(versions, start=1):
+            assert documents_equivalent(
+                archive.retrieve(number), original, report.spec
+            )
+
+    def test_dept_keyed_by_name(self):
+        report = mine_keys(company_versions())
+        dept_key = report.spec.key_for(("db", "dept"))
+        assert dept_key.key_paths == (("name",),)
+
+    def test_tel_keyed_by_content(self):
+        report = mine_keys(company_versions())
+        tel_key = report.spec.key_for(("db", "dept", "emp", "tel"))
+        assert tel_key.key_paths == ((),)
+
+
+class TestMineDatasets:
+    def test_omim_record_keyed_by_num(self):
+        versions = OmimGenerator(seed=3, initial_records=15).generate_versions(3)
+        report = mine_keys(versions)
+        record_key = report.spec.key_for(("ROOT", "Record"))
+        assert record_key.key_paths == (("Num",),)
+        for version in versions:
+            assert satisfies(version, report.spec)
+
+    def test_swissprot_record_keyed_by_accession(self):
+        versions = SwissProtGenerator(seed=2, initial_records=30).generate_versions(3)
+        report = mine_keys(versions)
+        record_key = report.spec.key_for(("ROOT", "Record"))
+        # pac and id are both valid globally-unique short identifiers.
+        assert record_key.key_paths in ((("pac",),), (("id",),))
+        for version in versions:
+            assert satisfies(version, report.spec)
+
+    def test_xmark_items_keyed_by_id_attribute(self):
+        site = XMarkGenerator(seed=4, items=60, people=30, auctions=12).initial_version()
+        report = mine_keys([site])
+        item_key = report.spec.key_for(("site", "regions", "africa", "item"))
+        assert item_key is not None
+        assert item_key.key_paths == (("id",),)
+        person_key = report.spec.key_for(("site", "people", "person"))
+        assert person_key.key_paths == (("id",),)
+
+
+class TestMineEdgeCases:
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            mine_keys([])
+
+    def test_rejects_mixed_roots(self):
+        with pytest.raises(ValueError):
+            mine_keys([parse_document("<a/>"), parse_document("<b/>")])
+
+    def test_unkeyable_siblings_reported(self):
+        doc = parse_document(
+            "<doc><line>same</line><line>same</line></doc>"
+        )
+        report = mine_keys([doc])
+        assert ("doc", "line") in report.unkeyed_paths
+        assert report.notes
+
+    def test_composite_key_found(self):
+        doc = parse_document(
+            "<db>"
+            "<p><fn>john</fn><ln>doe</ln></p>"
+            "<p><fn>john</fn><ln>smith</ln></p>"
+            "<p><fn>jane</fn><ln>doe</ln></p>"
+            "</db>"
+        )
+        report = mine_keys([doc])
+        p_key = report.spec.key_for(("db", "p"))
+        assert set(p_key.key_paths) == {("fn",), ("ln",)}
+
+    def test_stability_prefers_unchanging_candidate(self):
+        """Two versions where 'version-tag' changes but 'id' does not:
+        the miner must key on id."""
+        v1 = parse_document(
+            "<db><r><id>1</id><stamp>a</stamp></r><r><id>2</id><stamp>b</stamp></r></db>"
+        )
+        v2 = parse_document(
+            "<db><r><id>1</id><stamp>c</stamp></r><r><id>2</id><stamp>d</stamp></r></db>"
+        )
+        report = mine_keys([v1, v2])
+        r_key = report.spec.key_for(("db", "r"))
+        assert r_key.key_paths == (("id",),)
+
+    def test_singleton_children_get_empty_keys(self):
+        doc = parse_document("<db><meta><created>x</created></meta></db>")
+        report = mine_keys([doc])
+        assert report.spec.key_for(("db", "meta")).key_paths == ()
+
+    def test_single_version_suffices(self):
+        report = mine_keys([company_versions()[3]])
+        assert report.spec.key_for(("db", "dept")) is not None

@@ -1,0 +1,102 @@
+"""Tests for path expressions (repro.keys.paths)."""
+
+import pytest
+
+from repro.keys import (
+    concat,
+    format_path,
+    is_proper_prefix,
+    navigate,
+    parse_path,
+    value_at,
+)
+from repro.xmltree import Attribute, parse_document
+
+
+class TestParsePath:
+    def test_absolute(self):
+        assert parse_path("/db/dept") == ("db", "dept")
+
+    def test_relative(self):
+        assert parse_path("Date/Month") == ("Date", "Month")
+
+    @pytest.mark.parametrize("spelling", ["", ".", "\\e", "/"])
+    def test_empty_spellings(self, spelling):
+        assert parse_path(spelling) == ()
+
+    def test_single_step(self):
+        assert parse_path("name") == ("name",)
+
+    def test_whitespace_tolerated(self):
+        assert parse_path("  /db/dept ") == ("db", "dept")
+
+
+class TestFormatPath:
+    def test_round_trip(self):
+        assert format_path(parse_path("/db/dept")) == "/db/dept"
+
+    def test_relative_form(self):
+        assert format_path(("fn",), absolute=False) == "fn"
+
+    def test_empty(self):
+        assert format_path(()) == "."
+
+
+class TestPrefix:
+    def test_proper_prefix(self):
+        assert is_proper_prefix(("db",), ("db", "dept"))
+
+    def test_equal_is_not_proper(self):
+        assert not is_proper_prefix(("db",), ("db",))
+
+    def test_divergent(self):
+        assert not is_proper_prefix(("db", "x"), ("db", "dept", "emp"))
+
+
+class TestNavigate:
+    DOC = parse_document(
+        "<emp><fn>John</fn><ln>Doe</ln>"
+        "<tel>123</tel><tel>456</tel>"
+        "<addr><zip>19104</zip></addr></emp>"
+    )
+
+    def test_empty_path_is_self(self):
+        assert navigate(self.DOC, ()) == [self.DOC]
+
+    def test_single_step(self):
+        (fn,) = navigate(self.DOC, ("fn",))
+        assert fn.text_content() == "John"
+
+    def test_multiple_matches(self):
+        assert len(navigate(self.DOC, ("tel",))) == 2
+
+    def test_multi_step(self):
+        (zip_node,) = navigate(self.DOC, ("addr", "zip"))
+        assert zip_node.text_content() == "19104"
+
+    def test_missing(self):
+        assert navigate(self.DOC, ("nope",)) == []
+
+    def test_attribute_step(self):
+        doc = parse_document('<item id="item1"><name>x</name></item>')
+        (attr,) = navigate(doc, ("id",))
+        assert isinstance(attr, Attribute)
+        assert attr.value == "item1"
+
+    def test_element_preferred_over_attribute(self):
+        doc = parse_document('<item id="attr-id"><id>elem-id</id></item>')
+        (target,) = navigate(doc, ("id",))
+        assert value_at(target) == "elem-id"
+
+
+class TestValueAt:
+    def test_element_content(self):
+        doc = parse_document("<fn>John</fn>")
+        assert value_at(doc) == "John"
+
+    def test_attribute_value(self):
+        assert value_at(Attribute("id", "item1")) == "item1"
+
+    def test_structured_content(self):
+        doc = parse_document("<k><a>1</a><b>2</b></k>")
+        assert value_at(doc) == "<a>1</a><b>2</b>"

@@ -1,0 +1,151 @@
+"""Tests for relational-schema key generation (keys.relational)."""
+
+import pytest
+
+from repro.core import Archive, documents_equivalent
+from repro.keys import (
+    KeySpecError,
+    RelationalArchiver,
+    RelationalSchema,
+    Table,
+    keys_for_schema,
+    rows_to_document,
+    satisfies,
+)
+
+EMPLOYEE = Table(
+    name="employee",
+    columns=("emp_id", "name", "dept", "salary"),
+    primary_key=("emp_id",),
+)
+ASSIGNMENT = Table(
+    name="assignment",
+    columns=("emp_id", "project", "role"),
+    primary_key=("emp_id", "project"),
+)
+SCHEMA = RelationalSchema(tables=[EMPLOYEE, ASSIGNMENT])
+
+
+class TestSchema:
+    def test_rejects_missing_pk_column(self):
+        with pytest.raises(KeySpecError):
+            Table(name="t", columns=("a",), primary_key=("b",))
+
+    def test_rejects_empty_pk(self):
+        with pytest.raises(KeySpecError):
+            Table(name="t", columns=("a",), primary_key=())
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(KeySpecError):
+            RelationalSchema(tables=[EMPLOYEE, EMPLOYEE])
+
+
+class TestKeyGeneration:
+    def test_row_key_is_primary_key(self):
+        spec = keys_for_schema(SCHEMA)
+        employee_key = spec.key_for(("db", "employee"))
+        assert employee_key.key_paths == (("emp_id",),)
+
+    def test_composite_primary_key(self):
+        spec = keys_for_schema(SCHEMA)
+        assignment_key = spec.key_for(("db", "assignment"))
+        assert set(assignment_key.key_paths) == {("emp_id",), ("project",)}
+
+    def test_non_key_columns_are_singletons(self):
+        spec = keys_for_schema(SCHEMA)
+        assert spec.key_for(("db", "employee", "salary")).key_paths == ()
+
+    def test_key_columns_covered_by_implied_keys(self):
+        spec = keys_for_schema(SCHEMA)
+        assert spec.key_for(("db", "employee", "emp_id")) is not None
+
+
+class TestRowsToDocument:
+    DATA = {
+        "employee": [
+            {"emp_id": 1, "name": "Jane", "dept": "finance", "salary": 90},
+            {"emp_id": 2, "name": "John", "dept": "finance", "salary": None},
+        ],
+        "assignment": [
+            {"emp_id": 1, "project": "alpha", "role": "lead"},
+        ],
+    }
+
+    def test_document_satisfies_generated_keys(self):
+        document = rows_to_document(SCHEMA, self.DATA)
+        assert satisfies(document, keys_for_schema(SCHEMA))
+
+    def test_null_columns_omitted(self):
+        document = rows_to_document(SCHEMA, self.DATA)
+        johns = [
+            row
+            for row in document.find_all("employee")
+            if row.find("emp_id").text_content() == "2"
+        ]
+        assert johns[0].find("salary") is None
+
+    def test_rejects_unknown_table(self):
+        with pytest.raises(KeySpecError):
+            rows_to_document(SCHEMA, {"nope": []})
+
+    def test_rejects_unknown_column(self):
+        with pytest.raises(KeySpecError):
+            rows_to_document(
+                SCHEMA, {"employee": [{"emp_id": 1, "bogus": "x"}]}
+            )
+
+    def test_rejects_null_primary_key(self):
+        with pytest.raises(KeySpecError):
+            rows_to_document(SCHEMA, {"employee": [{"emp_id": None, "name": "x"}]})
+
+
+class TestRelationalArchiver:
+    def test_cell_history_tracks_single_attribute_change(self):
+        """The Sec. 8 comparison: only the changed cell is re-stored,
+        and its history is directly addressable."""
+        archiver = RelationalArchiver(schema=SCHEMA)
+        base = {
+            "employee": [
+                {"emp_id": 1, "name": "Jane", "dept": "finance", "salary": 90},
+            ]
+        }
+        raise_salary = {
+            "employee": [
+                {"emp_id": 1, "name": "Jane", "dept": "finance", "salary": 95},
+            ]
+        }
+        archiver.add_snapshot(base)
+        archiver.add_snapshot(raise_salary)
+        row = archiver.row_history("employee", emp_id=1)
+        assert row.existence.to_text() == "1-2"
+        cell = archiver.cell_history("employee", "salary", emp_id=1)
+        assert [(ts.to_text(), content) for ts, content in cell.changes] == [
+            ("1", "90"),
+            ("2", "95"),
+        ]
+
+    def test_composite_key_row_history(self):
+        archiver = RelationalArchiver(schema=SCHEMA)
+        archiver.add_snapshot(
+            {"assignment": [{"emp_id": 1, "project": "alpha", "role": "lead"}]}
+        )
+        archiver.add_snapshot({"assignment": []})
+        history = archiver.row_history("assignment", emp_id=1, project="alpha")
+        assert history.existence.to_text() == "1"
+
+    def test_snapshots_round_trip(self):
+        archiver = RelationalArchiver(schema=SCHEMA)
+        states = [
+            {"employee": [{"emp_id": 1, "name": "A", "dept": "d", "salary": 1}]},
+            {"employee": [
+                {"emp_id": 1, "name": "A", "dept": "d", "salary": 2},
+                {"emp_id": 2, "name": "B", "dept": "e", "salary": 3},
+            ]},
+        ]
+        for state in states:
+            archiver.add_snapshot(state)
+        for number, state in enumerate(states, start=1):
+            expected = rows_to_document(SCHEMA, state)
+            assert documents_equivalent(
+                archiver.archive.retrieve(number), expected, archiver.spec
+            )

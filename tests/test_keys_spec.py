@@ -1,0 +1,139 @@
+"""Tests for key specifications (repro.keys.spec, repro.keys.keyparser)."""
+
+import pytest
+
+from repro.data.company import company_key_spec
+from repro.keys import (
+    Key,
+    KeySpec,
+    KeySpecError,
+    empty_spec,
+    key,
+    parse_key_line,
+    parse_key_spec,
+)
+
+
+class TestKey:
+    def test_absolute_target(self):
+        k = key("/db/dept", "emp", ("fn", "ln"))
+        assert k.absolute_target == ("db", "dept", "emp")
+
+    def test_rejects_empty_target(self):
+        with pytest.raises(KeySpecError):
+            key("/db", "")
+
+    def test_rejects_duplicate_key_paths(self):
+        with pytest.raises(KeySpecError):
+            key("/db", "emp", ("fn", "fn"))
+
+    def test_str_round_trips_through_parser(self):
+        k = key("/db/dept", "emp", ("fn", "ln"))
+        assert parse_key_line(str(k)) == k
+
+
+class TestKeyParser:
+    def test_simple(self):
+        k = parse_key_line("(/db, (dept, {name}))")
+        assert k == key("/db", "dept", ("name",))
+
+    def test_empty_key_path_set(self):
+        k = parse_key_line("(/, (db, {}))")
+        assert k == key("/", "db", ())
+
+    def test_dot_key_path(self):
+        k = parse_key_line("(/db/dept/emp, (tel, {.}))")
+        assert k.key_paths == ((),)
+
+    def test_backslash_e_key_path(self):
+        k = parse_key_line("(/ROOT/Record, (AlternativeTitle, {\\e}))")
+        assert k.key_paths == ((),)
+
+    def test_multi_step_key_paths(self):
+        k = parse_key_line(
+            "(/ROOT/Record, (Contributors, {Name, Date/Month, Date/Day}))"
+        )
+        assert ("Date", "Month") in k.key_paths
+
+    def test_comments_and_blanks_skipped(self):
+        spec = parse_key_spec("# heading\n\n(/, (db, {}))\n")
+        assert len(spec) == 1
+
+    def test_wildcard_expansion(self):
+        spec_text = (
+            "(/, (site, {}))\n(/site, (regions, {}))\n"
+            "(/site/regions, (_, {}))\n(/site/regions/_, (item, {id}))"
+        )
+        spec = parse_key_spec(spec_text, wildcards={"_": ["africa", "asia"]})
+        assert spec.key_for(("site", "regions", "africa", "item")) is not None
+        assert spec.key_for(("site", "regions", "asia", "item")) is not None
+
+    @pytest.mark.parametrize(
+        "line",
+        ["/db, dept", "(db)", "(/db, (dept, name))", "(/db, (dept, {name})"],
+    )
+    def test_malformed(self, line):
+        with pytest.raises(KeySpecError):
+            parse_key_line(line)
+
+
+class TestKeySpec:
+    def test_company_spec_closure_adds_implied_keys(self):
+        spec = company_key_spec()
+        # Implied: (/db/dept, (name, {})), (/db/dept/emp, (fn, {})), (ln, {}).
+        assert spec.key_for(("db", "dept", "name")) is not None
+        assert spec.key_for(("db", "dept", "emp", "fn")) is not None
+        assert spec.key_for(("db", "dept", "emp", "ln")) is not None
+
+    def test_company_frontier_paths(self):
+        spec = company_key_spec()
+        expected = {
+            ("db", "dept", "name"),
+            ("db", "dept", "emp", "fn"),
+            ("db", "dept", "emp", "ln"),
+            ("db", "dept", "emp", "sal"),
+            ("db", "dept", "emp", "tel"),
+        }
+        assert set(spec.frontier_paths) == expected
+
+    def test_non_frontier_paths(self):
+        spec = company_key_spec()
+        assert not spec.is_frontier_path(("db", "dept", "emp"))
+        assert not spec.is_frontier_path(("db",))
+
+    def test_max_keyed_depth(self):
+        assert company_key_spec().max_keyed_depth() == 4
+
+    def test_duplicate_target_paths_rejected(self):
+        with pytest.raises(KeySpecError):
+            KeySpec(explicit_keys=[key("/", "db"), key("/", "db", ("id",))])
+
+    def test_not_insertion_friendly_rejected(self):
+        # /db is never keyed, so a key relative to it dangles.
+        with pytest.raises(KeySpecError):
+            KeySpec(explicit_keys=[key("/db", "dept", ("name",))])
+
+    def test_key_beneath_key_path_rejected(self):
+        # emp is keyed by fn; keying something under .../emp/fn violates
+        # assumption 3.
+        with pytest.raises(KeySpecError):
+            KeySpec(
+                explicit_keys=[
+                    key("/", "db"),
+                    key("/db", "emp", ("fn",)),
+                    key("/db/emp/fn", "part", ("x",)),
+                ]
+            )
+
+    def test_empty_spec(self):
+        spec = empty_spec()
+        assert len(spec) == 0
+        assert spec.max_keyed_depth() == 0
+
+    def test_iteration_yields_keys(self):
+        spec = company_key_spec()
+        assert all(isinstance(k, Key) for k in spec)
+
+    def test_str_lists_all_keys(self):
+        text = str(company_key_spec())
+        assert "(/db/dept, (emp, {fn, ln}))" in text

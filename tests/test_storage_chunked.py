@@ -1,0 +1,85 @@
+"""Tests for the chunked archiver (storage.chunked) — the paper's
+Sec. 5 memory workaround."""
+
+import pytest
+
+from repro.core import Archive, documents_equivalent
+from repro.data import OmimGenerator, omim_key_spec
+from repro.storage import ChunkedArchiver, ChunkedArchiverError
+
+
+@pytest.fixture
+def versions():
+    return OmimGenerator(seed=11, initial_records=20).generate_versions(4)
+
+
+@pytest.fixture
+def spec():
+    return omim_key_spec()
+
+
+class TestChunkedArchiver:
+    def test_retrieval_matches_monolithic(self, tmp_path, versions, spec):
+        chunked = ChunkedArchiver(str(tmp_path), spec, chunk_count=4)
+        monolithic = Archive(spec)
+        for version in versions:
+            chunked.add_version(version.copy())
+            monolithic.add_version(version)
+        for number in range(1, len(versions) + 1):
+            assert documents_equivalent(
+                chunked.retrieve(number), monolithic.retrieve(number), spec
+            )
+
+    def test_single_chunk_degenerates_to_monolithic(self, tmp_path, versions, spec):
+        chunked = ChunkedArchiver(str(tmp_path), spec, chunk_count=1)
+        for version in versions:
+            chunked.add_version(version.copy())
+        assert documents_equivalent(
+            chunked.retrieve(2), versions[1], spec
+        )
+
+    def test_records_stay_in_their_chunk(self, tmp_path, versions, spec):
+        """The same record must land in the same chunk every version —
+        otherwise merging by key would break."""
+        chunked = ChunkedArchiver(str(tmp_path), spec, chunk_count=4)
+        for version in versions:
+            chunked.add_version(version.copy())
+        # History works, which requires the record's whole lifetime to
+        # live in one chunk.
+        num = versions[0].find("Record").find("Num").text_content()
+        history = chunked.history(f"/ROOT/Record[Num={num}]")
+        assert 1 in history.existence
+
+    def test_persistence(self, tmp_path, versions, spec):
+        first = ChunkedArchiver(str(tmp_path), spec, chunk_count=3)
+        for version in versions[:2]:
+            first.add_version(version.copy())
+        second = ChunkedArchiver(str(tmp_path), spec, chunk_count=3)
+        assert second.last_version == 2
+        for version in versions[2:]:
+            second.add_version(version.copy())
+        for number, original in enumerate(versions, start=1):
+            assert documents_equivalent(second.retrieve(number), original, spec)
+
+    def test_total_bytes(self, tmp_path, versions, spec):
+        chunked = ChunkedArchiver(str(tmp_path), spec, chunk_count=4)
+        chunked.add_version(versions[0].copy())
+        before = chunked.total_bytes()
+        chunked.add_version(versions[1].copy())
+        assert chunked.total_bytes() > before
+
+    def test_unknown_version_raises(self, tmp_path, versions, spec):
+        chunked = ChunkedArchiver(str(tmp_path), spec)
+        chunked.add_version(versions[0].copy())
+        with pytest.raises(ChunkedArchiverError):
+            chunked.retrieve(5)
+
+    def test_rejects_zero_chunks(self, tmp_path, spec):
+        with pytest.raises(ChunkedArchiverError):
+            ChunkedArchiver(str(tmp_path), spec, chunk_count=0)
+
+    def test_missing_element_raises(self, tmp_path, versions, spec):
+        chunked = ChunkedArchiver(str(tmp_path), spec, chunk_count=2)
+        chunked.add_version(versions[0].copy())
+        with pytest.raises(Exception):
+            chunked.history("/ROOT/Record[Num=nonexistent]")

@@ -1,0 +1,125 @@
+"""Unit tests for the hand-written XML parser (repro.xmltree.parser)."""
+
+import pytest
+
+from repro.xmltree import (
+    Element,
+    Text,
+    XMLSyntaxError,
+    parse_document,
+    to_pretty_string,
+    to_string,
+)
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse_document("<db/>")
+        assert root.tag == "db"
+        assert root.children == []
+
+    def test_nested_elements(self):
+        root = parse_document("<db><dept><name>finance</name></dept></db>")
+        assert root.find("dept").find("name").text_content() == "finance"
+
+    def test_attributes_double_and_single_quotes(self):
+        root = parse_document("<item id=\"item1\" cat='c1'/>")
+        assert root.get_attribute("id") == "item1"
+        assert root.get_attribute("cat") == "c1"
+
+    def test_text_entities(self):
+        root = parse_document("<t>&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;</t>")
+        assert root.text_content() == "<a> & \"b\" 'c'"
+
+    def test_numeric_character_references(self):
+        root = parse_document("<t>&#65;&#x42;</t>")
+        assert root.text_content() == "AB"
+
+    def test_attribute_entities(self):
+        root = parse_document('<t a="&amp;&lt;"/>')
+        assert root.get_attribute("a") == "&<"
+
+    def test_cdata(self):
+        root = parse_document("<t><![CDATA[<not><parsed>]]></t>")
+        assert root.text_content() == "<not><parsed>"
+
+    def test_comments_skipped(self):
+        root = parse_document("<db><!-- note --><dept/></db>")
+        assert [c.tag for c in root.element_children()] == ["dept"]
+
+    def test_prolog_and_doctype_skipped(self):
+        source = '<?xml version="1.0"?><!DOCTYPE db [<!ELEMENT db ANY>]><db/>'
+        assert parse_document(source).tag == "db"
+
+    def test_processing_instruction_in_content(self):
+        root = parse_document("<db><?pi data?><dept/></db>")
+        assert root.find("dept") is not None
+
+
+class TestWhitespaceModel:
+    def test_interelement_whitespace_dropped(self):
+        root = parse_document("<db>\n  <dept>\n    <name>finance</name>\n  </dept>\n</db>")
+        assert all(isinstance(c, Element) for c in root.children)
+
+    def test_text_only_content_kept(self):
+        root = parse_document("<t>  padded  </t>")
+        assert root.text_content() == "  padded  "
+
+    def test_mixed_content_meaningful_text_kept(self):
+        root = parse_document("<t>hello <b>world</b></t>")
+        assert root.text_content() == "hello world"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<db>",
+            "<db></dept>",
+            "<db><dept></db></dept>",
+            "<db id=1/>",
+            "<db id='x' id='y'/>",
+            "<db/><extra/>",
+            "<t>&unknown;</t>",
+            "",
+            "<t><![CDATA[unterminated</t>",
+        ],
+    )
+    def test_malformed_raises(self, source):
+        with pytest.raises((XMLSyntaxError, ValueError)):
+            parse_document(source)
+
+    def test_error_carries_line(self):
+        try:
+            parse_document("<db>\n<dept>\n</db>")
+        except XMLSyntaxError as err:
+            assert err.line >= 2
+        else:
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestRoundTrip:
+    PAPER_VERSION_4 = (
+        "<db><dept><name>finance</name>"
+        "<emp><fn>John</fn><ln>Doe</ln><sal>95K</sal><tel>123-4567</tel></emp>"
+        "<emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal>"
+        "<tel>123-6789</tel><tel>112-3456</tel></emp>"
+        "</dept></db>"
+    )
+
+    def test_compact_round_trip(self):
+        root = parse_document(self.PAPER_VERSION_4)
+        assert to_string(parse_document(to_string(root))) == to_string(root)
+
+    def test_pretty_round_trip_preserves_structure(self):
+        root = parse_document(self.PAPER_VERSION_4)
+        again = parse_document(to_pretty_string(root))
+        assert to_string(again) == to_string(root)
+
+    def test_special_characters_round_trip(self):
+        root = Element("t")
+        root.append(Text('a<b&c>"d\''))
+        root.set_attribute("attr", 'x"<&>')
+        again = parse_document(to_string(root))
+        assert again.text_content() == 'a<b&c>"d\''
+        assert again.get_attribute("attr") == 'x"<&>'

@@ -1,0 +1,76 @@
+"""Direct unit tests for the serializer (xmltree.serializer)."""
+
+from repro.xmltree import (
+    Element,
+    Text,
+    element,
+    parse_document,
+    serialized_size,
+    to_pretty_string,
+    to_string,
+    write_file,
+)
+
+
+class TestCompact:
+    def test_empty_element_self_closes(self):
+        assert to_string(Element("a")) == "<a/>"
+
+    def test_attributes_in_insertion_order(self):
+        node = Element("a")
+        node.set_attribute("z", "1")
+        node.set_attribute("y", "2")
+        assert to_string(node) == '<a z="1" y="2"/>'
+
+    def test_text_escaped(self):
+        assert to_string(element("t", "a<b&c>")) == "<t>a&lt;b&amp;c&gt;</t>"
+
+    def test_attribute_quotes_escaped(self):
+        node = Element("t")
+        node.set_attribute("a", 'say "hi" & <go>')
+        assert 'say &quot;hi&quot; &amp; &lt;go&gt;' in to_string(node)
+
+
+class TestPretty:
+    def test_one_line_for_text_only_elements(self):
+        doc = parse_document("<db><name>finance</name></db>")
+        lines = to_pretty_string(doc).rstrip("\n").split("\n")
+        assert lines == ["<db>", "<name>finance</name>", "</db>"]
+
+    def test_indentation_opt_in(self):
+        doc = parse_document("<db><name>x</name></db>")
+        assert "  <name>" in to_pretty_string(doc, indent="  ")
+
+    def test_multiline_text_stays_on_one_line(self):
+        """Newlines are escaped so the line form reparses exactly."""
+        doc = Element("t")
+        doc.append(Text("line one\nline two"))
+        lines = to_pretty_string(doc).rstrip("\n").split("\n")
+        assert lines == ["<t>line one&#10;line two</t>"]
+        again = parse_document(to_pretty_string(doc))
+        assert again.text_content() == "line one\nline two"
+
+    def test_pretty_parses_back(self):
+        doc = parse_document("<db><a>1</a><b><c>2</c>mixed</b></db>")
+        again = parse_document(to_pretty_string(doc))
+        assert to_string(again) == to_string(doc)
+
+
+class TestSizes:
+    def test_serialized_size_matches_utf8(self):
+        doc = element("t", "naïve — ünïcode")
+        text = to_pretty_string(doc)
+        assert serialized_size(doc) == len(text.encode("utf-8"))
+
+    def test_write_file_returns_bytes(self, tmp_path):
+        doc = parse_document("<db><a>1</a></db>")
+        path = tmp_path / "out.xml"
+        written = write_file(doc, str(path))
+        assert written == path.stat().st_size
+        assert to_string(parse_document(path.read_text())) == to_string(doc)
+
+    def test_write_file_compact(self, tmp_path):
+        doc = parse_document("<db><a>1</a></db>")
+        path = tmp_path / "compact.xml"
+        write_file(doc, str(path), pretty=False)
+        assert path.read_text() == "<db><a>1</a></db>"

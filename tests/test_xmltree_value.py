@@ -1,0 +1,160 @@
+"""Tests for value equality / ordering and canonical form (Appendix A)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree import (
+    Attribute,
+    Element,
+    Text,
+    canonical_form,
+    canonical_form_of_children,
+    compare_values,
+    element,
+    parse_document,
+    sort_by_value,
+    value_equal,
+    value_less,
+    value_list_equal,
+)
+
+
+class TestValueEquality:
+    def test_text_equality(self):
+        assert value_equal(Text("a"), Text("a"))
+        assert not value_equal(Text("a"), Text("b"))
+
+    def test_attribute_equality(self):
+        assert value_equal(Attribute("n", "v"), Attribute("n", "v"))
+        assert not value_equal(Attribute("n", "v"), Attribute("n", "w"))
+
+    def test_element_child_order_matters(self):
+        a = element("e", element("x"), element("y"))
+        b = element("e", element("y"), element("x"))
+        assert not value_equal(a, b)
+
+    def test_attribute_order_ignored(self):
+        a = Element("e")
+        a.set_attribute("p", "1")
+        a.set_attribute("q", "2")
+        b = Element("e")
+        b.set_attribute("q", "2")
+        b.set_attribute("p", "1")
+        assert value_equal(a, b)
+
+    def test_isomorphic_subtrees_equal(self):
+        src = "<emp><fn>John</fn><ln>Doe</ln></emp>"
+        assert value_equal(parse_document(src), parse_document(src))
+
+    def test_different_kinds_unequal(self):
+        assert not value_equal(Text("a"), element("a"))
+
+
+class TestValueOrdering:
+    def test_kind_order_t_a_e(self):
+        assert value_less(Text("z"), Attribute("a", "a"))
+        assert value_less(Attribute("z", "z"), Element("a"))
+
+    def test_text_lexicographic(self):
+        assert value_less(Text("abc"), Text("abd"))
+
+    def test_element_tag_then_children(self):
+        assert value_less(element("a", "2"), element("b", "1"))
+        assert value_less(element("a", "1"), element("a", "2"))
+
+    def test_shorter_child_list_first(self):
+        assert value_less(element("a", element("x")), element("a", element("x"), element("y")))
+
+    def test_total_order_consistency(self):
+        values = [element("b"), Text("t"), element("a", "1"), Attribute("n", "v")]
+        ordered = sort_by_value(values)
+        for left, right in zip(ordered, ordered[1:]):
+            assert compare_values(left, right) <= 0
+
+    def test_value_list_equal(self):
+        assert value_list_equal([Text("a"), element("b")], [Text("a"), element("b")])
+        assert not value_list_equal([Text("a")], [Text("a"), Text("b")])
+
+
+class TestCanonicalForm:
+    def test_equal_values_equal_canonical(self):
+        a = parse_document("<e q='2' p='1'><x/>t</e>")
+        b = parse_document("<e p='1' q='2'><x/>t</e>")
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_distinct_values_distinct_canonical(self):
+        a = parse_document("<e><x/></e>")
+        b = parse_document("<e><y/></e>")
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_empty_element_vs_empty_text_distinct(self):
+        a = parse_document("<e><x/></e>")
+        b = parse_document("<e><x></x></e>")
+        # <x/> and <x></x> are the same value.
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_content_form_ignores_enclosing_tag(self):
+        a = parse_document("<outer1><x/>t</outer1>")
+        b = parse_document("<outer2><x/>t</outer2>")
+        assert canonical_form_of_children(a) == canonical_form_of_children(b)
+
+    def test_escaping_prevents_collisions(self):
+        a = element("e", "<x/>")          # text that looks like markup
+        b = element("e", element("x"))    # actual markup
+        assert canonical_form(a) != canonical_form(b)
+
+
+# -- property-based tests ----------------------------------------------------
+
+_tags = st.sampled_from(["a", "b", "c", "d"])
+_texts = st.text(alphabet="xyz<&\"'", min_size=1, max_size=6)
+
+
+def _trees(depth: int = 3):
+    if depth == 0:
+        return st.builds(lambda t: element("leaf", t), _texts)
+    return st.deferred(
+        lambda: st.builds(
+            lambda tag, kids, attr: _with_attr(element(tag, *kids), attr),
+            _tags,
+            st.lists(st.one_of(st.builds(Text, _texts), _trees(depth - 1)), max_size=3),
+            st.one_of(st.none(), st.tuples(st.sampled_from(["p", "q"]), _texts)),
+        )
+    )
+
+
+def _with_attr(node, attr):
+    if attr is not None:
+        node.set_attribute(*attr)
+    return node
+
+
+class TestValueProperties:
+    @given(_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_equality_reflexive(self, tree):
+        assert value_equal(tree, tree.copy())
+
+    @given(_trees(), _trees())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_iff_value_equal(self, a, b):
+        assert (canonical_form(a) == canonical_form(b)) == value_equal(a, b)
+
+    @given(_trees(), _trees())
+    @settings(max_examples=60, deadline=None)
+    def test_antisymmetry(self, a, b):
+        if value_less(a, b):
+            assert not value_less(b, a)
+
+    @given(_trees(), _trees(), _trees())
+    @settings(max_examples=40, deadline=None)
+    def test_transitivity(self, a, b, c):
+        if compare_values(a, b) <= 0 and compare_values(b, c) <= 0:
+            assert compare_values(a, c) <= 0
+
+    @given(_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_parse_serialize_preserves_value(self, tree):
+        from repro.xmltree import to_string
+
+        assert value_equal(tree, parse_document(to_string(tree)))

@@ -1,0 +1,111 @@
+"""Tests for the XPath evaluator — including queries over archives."""
+
+import pytest
+
+from repro.core import Archive
+from repro.data.company import company_key_spec, company_versions
+from repro.xmltree import parse_document
+from repro.xmltree.xpath import XPathError, xpath, xpath_first
+
+DOC = parse_document(
+    "<db>"
+    "<dept><name>finance</name>"
+    "<emp><fn>John</fn><ln>Doe</ln><tel>111</tel><tel>222</tel></emp>"
+    "<emp><fn>Jane</fn><ln>Smith</ln></emp></dept>"
+    "<dept><name>marketing</name>"
+    "<emp><fn>John</fn><ln>Doe</ln></emp></dept>"
+    "</db>"
+)
+
+
+class TestChildSteps:
+    def test_simple_path(self):
+        assert len(xpath(DOC, "/db/dept/emp")) == 3
+
+    def test_root_mismatch(self):
+        assert xpath(DOC, "/nope/dept") == []
+
+    def test_wildcard(self):
+        assert len(xpath(DOC, "/db/*/emp")) == 3
+
+    def test_text_result(self):
+        assert xpath(DOC, "/db/dept/name/text()") == ["finance", "marketing"]
+
+
+class TestDescendantSteps:
+    def test_double_slash_root(self):
+        assert len(xpath(DOC, "//tel")) == 2
+
+    def test_double_slash_mid(self):
+        assert len(xpath(DOC, "/db//fn")) == 3
+
+    def test_no_duplicates(self):
+        names = xpath(DOC, "//name")
+        assert len(names) == len({id(n) for n in names})
+
+
+class TestPredicates:
+    def test_child_value(self):
+        (dept,) = xpath(DOC, "/db/dept[name='finance']")
+        assert dept.find("name").text_content() == "finance"
+
+    def test_chained(self):
+        emps = xpath(DOC, "/db/dept[name='finance']/emp[fn='John'][ln='Doe']")
+        assert len(emps) == 1
+
+    def test_positional(self):
+        (second,) = xpath(DOC, "/db/dept[2]")
+        assert second.find("name").text_content() == "marketing"
+
+    def test_attribute(self):
+        doc = parse_document('<site><item id="i1"/><item id="i2"/></site>')
+        (item,) = xpath(doc, "/site/item[@id='i2']")
+        assert item.get_attribute("id") == "i2"
+
+    def test_text_predicate(self):
+        (name,) = xpath(DOC, "/db/dept/name[text()='finance']")
+        assert name.text_content() == "finance"
+
+    def test_first_helper(self):
+        assert xpath_first(DOC, "/db/dept") is not None
+        assert xpath_first(DOC, "/db/zzz") is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "dept/emp",             # relative
+            "/db/dept[name=finance]",  # unquoted value
+            "/db/dept[",            # unbalanced
+            "/db//",                # empty step
+            "/text()",              # text() with no element step
+            "/db/dept[0]",          # positions are 1-based
+        ],
+    )
+    def test_rejected(self, expression):
+        with pytest.raises(XPathError):
+            xpath(DOC, expression)
+
+
+class TestQueryingArchives:
+    """Sec. 8: the archive is XML, so XML query tools apply directly."""
+
+    @pytest.fixture
+    def archive_xml(self):
+        archive = Archive(company_key_spec())
+        for version in company_versions():
+            archive.add_version(version)
+        return archive.to_xml()
+
+    def test_find_timestamp_elements(self, archive_xml):
+        t_nodes = xpath(archive_xml, "//T[@t='3']")
+        assert t_nodes  # the marketing dept and John's 90K salary
+
+    def test_navigate_through_timestamps(self, archive_xml):
+        salaries = xpath(archive_xml, "//sal/T/text()")
+        assert set(salaries) >= {"90K", "95K"}
+
+    def test_employees_in_archive(self, archive_xml):
+        first_names = set(xpath(archive_xml, "//emp/fn/text()"))
+        assert first_names == {"John", "Jane"}
