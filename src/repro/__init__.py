@@ -27,6 +27,7 @@ from .core import (
     ArchiveOptions,
     ElementHistory,
     Fingerprinter,
+    IngestSession,
     VersionSet,
     documents_equivalent,
     normalize_document,
@@ -43,6 +44,7 @@ __all__ = [
     "Element",
     "ElementHistory",
     "Fingerprinter",
+    "IngestSession",
     "Key",
     "KeySpec",
     "Text",

@@ -4,6 +4,7 @@ A downstream curator's workflow over plain files::
 
     xarch init  archive.xml --keys keys.txt        # empty archive
     xarch add   archive.xml version1.xml           # merge a version
+    xarch ingest archive.xml snapshots/ --keys keys.txt   # batch a directory
     xarch get   archive.xml 3 -o v3.xml            # retrieve version 3
     xarch log   archive.xml '/db/dept[name=finance]/emp[fn=John, ln=Doe]'
     xarch diff  archive.xml 2 5                    # semantic change report
@@ -23,6 +24,7 @@ import os
 import sys
 
 from .core.archive import Archive, ArchiveOptions
+from .core.ingest import IngestSession
 from .core.tempquery import archive_diff
 from .keys.keyparser import parse_key_spec
 from .keys.mining import mine_keys
@@ -83,6 +85,61 @@ def cmd_add(args: argparse.Namespace) -> int:
             f"content changes {stats.frontier_content_changes})"
         )
     _store_archive(args, archive)
+    return 0
+
+
+def _collect_version_files(sources: list[str]) -> list[str]:
+    """Expand the ``ingest`` operands: directories contribute their
+    ``.xml`` files in sorted (snapshot) order, files pass through."""
+    files: list[str] = []
+    for source in sources:
+        if os.path.isdir(source):
+            entries = sorted(
+                entry for entry in os.listdir(source) if entry.endswith(".xml")
+            )
+            if not entries:
+                raise SystemExit(f"xarch: no .xml version files in {source!r}")
+            files.extend(os.path.join(source, entry) for entry in entries)
+        else:
+            files.append(source)
+    if not files:
+        raise SystemExit("xarch: nothing to ingest")
+    return files
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Batch-merge a directory (or list) of version files end-to-end."""
+    files = _collect_version_files(args.sources)
+    if os.path.exists(args.archive):
+        archive, _ = _load_archive(args)
+    else:
+        # End-to-end bootstrap: create the archive like ``init`` would.
+        if not args.keys:
+            raise SystemExit(
+                f"xarch: {args.archive!r} does not exist; pass --keys to create it"
+            )
+        with open(args.keys, "r", encoding="utf-8") as handle:
+            keys_text = handle.read()
+        spec = parse_key_spec(keys_text)
+        archive = Archive(spec, ArchiveOptions(compaction=args.compaction))
+        with open(_keys_path(args.archive), "w", encoding="utf-8") as handle:
+            handle.write(keys_text)
+    session = IngestSession(archive)
+    for version_path in files:
+        stats = session.add(parse_file(version_path))
+        print(
+            f"merged {version_path} as version {archive.last_version} "
+            f"(visited {stats.nodes_visited()}, skipped {stats.subtrees_skipped} "
+            f"subtrees / {stats.nodes_skipped} nodes)"
+        )
+    _store_archive(args, archive)
+    total = session.stats
+    print(
+        f"ingested {total.versions} versions: {total.nodes_visited()} node visits, "
+        f"{total.nodes_inserted} inserted, {total.subtrees_skipped} subtrees "
+        f"skipped ({total.nodes_skipped} nodes), "
+        f"{total.frontier_skips} frontier digest hits"
+    )
     return 0
 
 
@@ -164,6 +221,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_add.add_argument("versions", nargs="+")
     p_add.add_argument("--keys")
     p_add.set_defaults(func=cmd_add)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="batch-merge a directory (or list) of version files",
+    )
+    p_ingest.add_argument("archive")
+    p_ingest.add_argument(
+        "sources",
+        nargs="+",
+        help="version .xml files, or directories of them (sorted order)",
+    )
+    p_ingest.add_argument("--keys", help="key spec (required to create the archive)")
+    p_ingest.add_argument(
+        "--compaction",
+        action="store_true",
+        help="store frontier content as SCCS weaves (further compaction)",
+    )
+    p_ingest.set_defaults(func=cmd_ingest)
 
     p_get = sub.add_parser("get", help="retrieve a past version")
     p_get.add_argument("archive")

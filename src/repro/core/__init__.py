@@ -12,13 +12,18 @@ from .archive import (
     ArchiveStats,
     ElementHistory,
     ROOT_TAG,
+    STORAGE_ALTERNATIVES,
+    STORAGE_ATTR,
+    STORAGE_WEAVE,
     T_ATTR,
     T_TAG,
 )
 from .canonicalize import documents_equivalent, normalize_document
 from .fingerprint import Fingerprinter
+from .ingest import IngestSession
 from .merge import (
     AttributeChangeError,
+    MergeMemo,
     MergeOptions,
     MergeStats,
     build_archive_subtree,
@@ -46,9 +51,14 @@ __all__ = [
     "AttributeChangeError",
     "ElementHistory",
     "Fingerprinter",
+    "IngestSession",
+    "MergeMemo",
     "MergeOptions",
     "MergeStats",
     "ROOT_TAG",
+    "STORAGE_ALTERNATIVES",
+    "STORAGE_ATTR",
+    "STORAGE_WEAVE",
     "T_ATTR",
     "T_TAG",
     "VersionSet",

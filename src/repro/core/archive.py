@@ -12,15 +12,16 @@ easily represented as yet another XML document".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..keys.annotate import KeyLabel, KeyValue, annotate_keys, compute_key_value
-from ..keys.paths import Path, format_path, parse_path
+from ..keys.paths import Path, format_path, parse_path, value_at
 from ..keys.spec import KeySpec
-from ..xmltree.model import Element, Text
+from ..xmltree.canonical import canonical_form
+from ..xmltree.model import Attribute, Element, Text
 from ..xmltree.parser import parse_document
 from ..xmltree.serializer import to_pretty_string, to_string
-from .compaction import weave_content_at
+from .compaction import lines_to_content, weave_content_at
 from .fingerprint import Fingerprinter
 from .merge import MergeOptions, MergeStats, nested_merge
 from .nodes import Alternative, ArchiveNode, Weave, WeaveSegment
@@ -32,6 +33,16 @@ T_TAG = "T"
 T_ATTR = "t"
 #: Tag of the synthetic root that tracks empty versions (Sec. 2).
 ROOT_TAG = "root"
+#: Attribute on the outermost ``<T>`` wrapper naming the frontier
+#: storage form, so an archive file is self-describing; the two forms
+#: share the ``<T>`` surface syntax and misreading one as the other
+#: silently corrupts content.  Absent only in archives written by
+#: older tools, which must pass matching options at load time.
+STORAGE_ATTR = "storage"
+#: The :data:`STORAGE_ATTR` value marking weave (compaction) storage.
+STORAGE_WEAVE = "weave"
+#: The :data:`STORAGE_ATTR` value marking per-timestamp alternatives.
+STORAGE_ALTERNATIVES = "alternatives"
 
 
 class ArchiveError(ValueError):
@@ -46,8 +57,10 @@ class ArchiveOptions:
       their key values (Sec. 4.3).
     * ``compaction`` — store frontier content as an SCCS weave
       (*further compaction*, Example 4.3) instead of full alternatives.
-      An archive must be read back with the same setting it was written
-      with: the two storage forms share the ``<T>`` surface syntax.
+      The two storage forms share the ``<T>`` surface syntax, so
+      serialized archives carry a ``storage="weave"`` marker and
+      :meth:`Archive.from_xml` restores the right form regardless of
+      the options passed at load time.
     """
 
     fingerprinter: Optional[Fingerprinter] = None
@@ -110,12 +123,16 @@ class Archive:
         assert self.root.timestamp is not None
         return len(self.root.timestamp)
 
-    def add_version(self, document: Optional[Element]) -> MergeStats:
+    def add_version(self, document: Optional[Element], memo=None) -> MergeStats:
         """Archive the next version.
 
         ``document`` is the new version's root element; ``None`` records
         an *empty* version (the paper's Sec. 2: the root node's
         timestamp advances while the database node's does not).
+
+        ``memo`` is a :class:`~repro.core.merge.MergeMemo` carried by a
+        batched :class:`~repro.core.ingest.IngestSession`; unchanged
+        keyed subtrees are then fingerprint-skipped instead of descended.
         """
         version = self.last_version + 1
         assert self.root.timestamp is not None
@@ -126,11 +143,30 @@ class Archive:
             for child in self.root.children:
                 if child.timestamp is None:
                     child.timestamp = inherited.without(version)
-            return MergeStats()
+            return MergeStats(versions=1)
         annotated = annotate_keys(document, self.spec)
-        return nested_merge(
-            self.root, annotated, version, self.options.merge_options()
-        )
+        options = self.options.merge_options()
+        if memo is not None:
+            memo.prepare_version(annotated, options)
+        stats = nested_merge(self.root, annotated, version, options, memo=memo)
+        stats.versions = 1
+        return stats
+
+    def add_versions(
+        self, documents: Iterable[Optional[Element]]
+    ) -> MergeStats:
+        """Archive a whole sequence of versions in one batched pass.
+
+        Equivalent to calling :meth:`add_version` on each document in
+        order — the resulting archive is identical — but a shared
+        fingerprint memo skips merge descent into keyed subtrees that
+        did not change between consecutive versions (Sec. 4.3 digests,
+        memoized across the batch).  Returns cumulative
+        :class:`MergeStats` whose skip counters record the saved work.
+        """
+        from .ingest import IngestSession
+
+        return IngestSession(self).add_all(documents)
 
     # -- retrieval (Sec. 7.1 single-scan form) ---------------------------------
 
@@ -249,6 +285,10 @@ class Archive:
         assert self.root.timestamp is not None
         wrapper = Element(T_TAG)
         wrapper.set_attribute(T_ATTR, self.root.timestamp.to_text())
+        wrapper.set_attribute(
+            STORAGE_ATTR,
+            STORAGE_WEAVE if self.options.compaction else STORAGE_ALTERNATIVES,
+        )
         root_element = wrapper.append(Element(ROOT_TAG))
         for child in self.root.children:
             self._emit(child, root_element)
@@ -303,8 +343,11 @@ class Archive:
     ) -> "Archive":
         """Parse an archive previously written by :meth:`to_xml_string`.
 
-        ``options`` (in particular ``compaction``) must match the
-        options the archive was written with.
+        The frontier storage form is read from the archive's own
+        ``storage`` marker, so weave and alternatives archives both
+        load correctly whatever ``options`` says; ``options`` supplies
+        the remaining switches (and the storage form for marker-less
+        archives written by older tools).
         """
         return cls.from_xml(parse_document(text), spec, options)
 
@@ -318,6 +361,18 @@ class Archive:
         archive = cls(spec, options)
         if xml.tag != T_TAG or xml.get_attribute(T_ATTR) is None:
             raise ArchiveError("Archive XML must start with a <T t='...'> wrapper")
+        marker = xml.get_attribute(STORAGE_ATTR)
+        if marker is not None:
+            if marker not in (STORAGE_WEAVE, STORAGE_ALTERNATIVES):
+                raise ArchiveError(f"Unknown archive storage form {marker!r}")
+            compaction = marker == STORAGE_WEAVE
+            if compaction != archive.options.compaction:
+                # The file knows its own storage form; never mutate the
+                # caller's (possibly shared) options object.
+                archive.options = ArchiveOptions(
+                    fingerprinter=archive.options.fingerprinter,
+                    compaction=compaction,
+                )
         assert archive.root.timestamp is not None
         timestamp_text = xml.get_attribute(T_ATTR) or ""
         archive.root.timestamp = VersionSet.parse(timestamp_text)
@@ -422,7 +477,50 @@ class Archive:
             raise ArchiveError(
                 f"Archive element at {format_path(path)} is not keyed by the spec"
             )
-        return KeyLabel(tag=element.tag, key=compute_key_value(element, key))
+        return KeyLabel(
+            tag=element.tag,
+            key=compute_key_value(element, key, value_of=self._archived_value_at),
+        )
+
+    def _archived_value_at(self, target) -> str:
+        """``value_at`` over the Fig. 5 encoding.
+
+        In the serialized archive a key target is a frontier element
+        whose content may be wrapped in ``<T t="...">`` nodes —
+        per-timestamp alternatives, or weave segments under compaction.
+        Key values are stable over a node's lifetime (they define its
+        identity), so decoding any one stored state yields *the* logical
+        value; labels then match the ones live documents annotate to.
+        """
+        if isinstance(target, Attribute):
+            return target.value
+        t_children = [
+            child
+            for child in target.element_children()
+            if child.tag == T_TAG and child.get_attribute(T_ATTR) is not None
+        ]
+        if not t_children:
+            return value_at(target)
+        attr_part = "".join(
+            f'@{attr.name}="{attr.value}"'
+            for attr in sorted(target.attributes, key=lambda a: a.name)
+        )
+        if self.options.compaction:
+            # Reassemble the content visible at the first archived state:
+            # every segment whose timestamp covers the anchor version.
+            anchor = VersionSet.parse(
+                t_children[0].get_attribute(T_ATTR) or ""
+            ).min_version()
+            lines: list[str] = []
+            for t_child in t_children:
+                timestamp = VersionSet.parse(t_child.get_attribute(T_ATTR) or "")
+                if anchor in timestamp:
+                    text = t_child.text_content()
+                    lines.extend(text.split("\n") if text else [])
+            content = lines_to_content(lines)
+        else:
+            content = t_children[0].children
+        return attr_part + "".join(canonical_form(child) for child in content)
 
     def _is_frontier(self, path: Path) -> bool:
         if len(self.spec) == 0:

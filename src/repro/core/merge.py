@@ -8,6 +8,16 @@ deleted nodes, and inserting new subtrees with the new version number
 as their timestamp.  Frontier nodes — where keys run out — are handled
 by whole-content value comparison (or by an SCCS weave under *further
 compaction*, Example 4.3).
+
+Batched ingestion threads a :class:`MergeMemo` through the walk: the
+memo remembers, per archive node, a fingerprint (Sec. 4.3 digests over
+canonical forms) of the subtree it stored after the previous version of
+the batch.  When the incoming version's subtree carries the same
+fingerprint and the archive subtree is *uniform* (no explicit
+timestamps below — see :meth:`ArchiveNode.subtree_uniform`), the merge
+skips the whole descent: the paper's accretive workloads leave most
+keyed subtrees untouched between versions, so ingestion cost tracks the
+delta instead of the archive size.
 """
 
 from __future__ import annotations
@@ -18,9 +28,9 @@ from typing import Callable, Optional
 from ..keys.annotate import AnnotatedDocument, KeyLabel
 from ..xmltree.canonical import canonical_form
 from ..xmltree.model import Element
-from .compaction import merge_weave, weave_from_content
+from .compaction import lines_to_content, merge_weave, weave_from_content
 from .fingerprint import Fingerprinter
-from .nodes import Alternative, ArchiveNode, ContentNode
+from .nodes import Alternative, ArchiveNode, ContentNode, WeaveSegment
 from .versionset import VersionSet
 
 SortToken = Callable[[KeyLabel], tuple]
@@ -49,12 +59,214 @@ class MergeOptions:
 
 @dataclass
 class MergeStats:
-    """Counters describing one merge, useful for experiments and tests."""
+    """Counters describing one merge (or a whole batch of merges).
+
+    ``nodes_matched`` counts merge-node visits; the skip counters record
+    work the fingerprint memo avoided: ``subtrees_skipped`` unchanged
+    keyed subtrees whose descent was short-circuited, ``nodes_skipped``
+    the keyed nodes inside them that were never visited, and
+    ``frontier_skips`` frontier nodes whose content comparison was
+    replaced by a digest hit.  ``versions`` counts merges accumulated
+    into this instance (1 for a single ``add_version``).
+    """
 
     nodes_matched: int = 0
     nodes_inserted: int = 0
     nodes_terminated: int = 0
     frontier_content_changes: int = 0
+    subtrees_skipped: int = 0
+    nodes_skipped: int = 0
+    frontier_skips: int = 0
+    versions: int = 0
+
+    def accumulate(self, other: "MergeStats") -> "MergeStats":
+        """Fold another merge's counters into this one (batch totals)."""
+        self.nodes_matched += other.nodes_matched
+        self.nodes_inserted += other.nodes_inserted
+        self.nodes_terminated += other.nodes_terminated
+        self.frontier_content_changes += other.frontier_content_changes
+        self.subtrees_skipped += other.subtrees_skipped
+        self.nodes_skipped += other.nodes_skipped
+        self.frontier_skips += other.frontier_skips
+        self.versions += other.versions
+        return self
+
+    def nodes_visited(self) -> int:
+        """Merge-node visits actually performed (skips excluded)."""
+        return self.nodes_matched + self.nodes_inserted
+
+
+@dataclass
+class SubtreeEntry:
+    """Memo record for one archive subtree: its content fingerprint as
+    of the last merged version, plus its keyed-node count (how many
+    merge visits a skip saves)."""
+
+    digest: int
+    count: int
+
+
+@dataclass
+class FrontierEntry:
+    """Memo record for a timestamped frontier node: the fingerprint of
+    the content current at the last merged version, and the storage it
+    lives in — the matching :class:`Alternative`, or the weave segments
+    visible at that version."""
+
+    digest: int
+    alternative: Optional[Alternative] = None
+    segments: Optional[list[WeaveSegment]] = None
+
+    def augment(self, version: int) -> None:
+        """Apply the unchanged-content merge effect: extend the current
+        content's timestamps with ``version``."""
+        if self.alternative is not None:
+            assert self.alternative.timestamp is not None
+            self.alternative.timestamp.add(version)
+        if self.segments is not None:
+            for segment in self.segments:
+                segment.timestamp.add(version)
+
+
+class MergeMemo:
+    """Cross-version fingerprint memo for batched ingestion (Sec. 4.3).
+
+    ``subtree`` maps archive-node ids to :class:`SubtreeEntry`; an entry
+    certifies that the node's subtree is uniform (skip-safe) and records
+    the digest of the version content it stores.  ``frontier`` maps
+    timestamped frontier nodes to the digest of their *current* content.
+    ``incoming``/``incoming_counts`` hold the digests of the version
+    being merged right now, keyed by element id (refreshed per version
+    by :meth:`prepare_version`).
+
+    Skip equality is probabilistic in exactly the sense of the paper's
+    fingerprints (DOMHash): the memo uses its own wide digest — 128 bits
+    by default, independent of any narrow sorting fingerprinter the
+    archive options carry — so a collision is never forced by the
+    collision-testing configurations.
+    """
+
+    def __init__(self, fingerprinter: Optional[Fingerprinter] = None) -> None:
+        self.fingerprinter = fingerprinter or Fingerprinter(bits=128)
+        self.subtree: dict[int, SubtreeEntry] = {}
+        self.frontier: dict[int, FrontierEntry] = {}
+        self.incoming: dict[int, int] = {}
+        self.incoming_counts: dict[int, int] = {}
+
+    # -- incoming-version digests ------------------------------------------
+
+    def prepare_version(
+        self, document: AnnotatedDocument, options: "MergeOptions"
+    ) -> None:
+        """Digest every keyed subtree of the incoming version bottom-up.
+
+        Internal nodes hash their children's digests in sort-token order
+        (the order the archive stores siblings in), so the digest is
+        stable under the keyed-sibling reordering the archive ignores.
+        """
+        self.incoming = {}
+        self.incoming_counts = {}
+        fingerprinter = self.fingerprinter
+        token = options.sort_token()
+        stack: list[tuple[Element, bool]] = [(document.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if document.is_frontier(node):
+                self.incoming[id(node)] = fingerprinter.frontier_digest(
+                    node.tag, _attribute_pairs(node), node.children
+                )
+                self.incoming_counts[id(node)] = 1
+                continue
+            if not expanded:
+                stack.append((node, True))
+                for child in node.element_children():
+                    stack.append((child, False))
+                continue
+            children = sorted(
+                node.element_children(), key=lambda c: token(document.label(c))
+            )
+            self.incoming[id(node)] = fingerprinter.subtree_digest(
+                node.tag,
+                _attribute_pairs(node),
+                (self.incoming[id(child)] for child in children),
+            )
+            self.incoming_counts[id(node)] = 1 + sum(
+                self.incoming_counts[id(child)] for child in children
+            )
+
+    # -- seeding from an existing archive ----------------------------------
+
+    def seed(self, archive_root: ArchiveNode, last_version: int) -> None:
+        """Prime the memo from an archive that already holds versions.
+
+        Uniform subtrees get :class:`SubtreeEntry` records digesting the
+        content they store; timestamped frontier nodes whose content is
+        current at ``last_version`` get :class:`FrontierEntry` records.
+        A batch appended to an existing archive can then skip from its
+        very first version.
+        """
+        for child in archive_root.children:
+            self._seed_node(child, last_version)
+
+    def _seed_node(
+        self, node: ArchiveNode, last_version: int
+    ) -> tuple[Optional[int], int]:
+        """Post-order walk returning ``(digest-if-uniform, keyed count)``."""
+        if node.is_frontier:
+            if node.content_uniform():
+                content = node.alternatives[0].content if node.alternatives else []
+                digest = self.fingerprinter.frontier_digest(
+                    node.label.tag, node.attributes, content
+                )
+                self.subtree[id(node)] = SubtreeEntry(digest=digest, count=1)
+                return digest, 1
+            self._seed_frontier(node, last_version)
+            return None, 1
+        child_digests: list[Optional[int]] = []
+        count = 1
+        uniform = True
+        for child in node.children:
+            digest, child_count = self._seed_node(child, last_version)
+            count += child_count
+            if child.timestamp is not None or digest is None:
+                uniform = False
+            child_digests.append(digest)
+        if not uniform:
+            return None, count
+        digest = self.fingerprinter.subtree_digest(
+            node.label.tag, node.attributes, child_digests  # type: ignore[arg-type]
+        )
+        self.subtree[id(node)] = SubtreeEntry(digest=digest, count=count)
+        return digest, count
+
+    def _seed_frontier(self, node: ArchiveNode, last_version: int) -> None:
+        if node.alternatives is not None:
+            for alternative in node.alternatives:
+                if (
+                    alternative.timestamp is not None
+                    and last_version in alternative.timestamp
+                ):
+                    digest = self.fingerprinter.frontier_digest(
+                        node.label.tag, node.attributes, alternative.content
+                    )
+                    self.frontier[id(node)] = FrontierEntry(
+                        digest=digest, alternative=alternative
+                    )
+                    return
+            return
+        assert node.weave is not None
+        segments = [
+            segment
+            for segment in node.weave.segments
+            if last_version in segment.timestamp
+        ]
+        if not segments:
+            return
+        content = lines_to_content(node.weave.lines_at(last_version))
+        digest = self.fingerprinter.frontier_digest(
+            node.label.tag, node.attributes, content
+        )
+        self.frontier[id(node)] = FrontierEntry(digest=digest, segments=segments)
 
 
 def _content_equal(a: list[ContentNode], b: list[ContentNode]) -> bool:
@@ -124,6 +336,7 @@ def nested_merge(
     document: AnnotatedDocument,
     version: int,
     options: Optional[MergeOptions] = None,
+    memo: Optional[MergeMemo] = None,
 ) -> MergeStats:
     """Merge version ``version`` (the annotated document) into the archive.
 
@@ -131,6 +344,10 @@ def nested_merge(
     root is matched against its children by label.  The archive root's
     timestamp must already include ``version`` (the
     :class:`~repro.core.archive.Archive` facade maintains it).
+
+    ``memo``, when given, must have been prepared for this version with
+    :meth:`MergeMemo.prepare_version`; unchanged uniform subtrees are
+    then skipped instead of descended.
     """
     options = options or MergeOptions()
     stats = MergeStats()
@@ -141,14 +358,15 @@ def nested_merge(
 
     existing = archive_root.find_child(root_label)
     if existing is None:
-        subtree = build_archive_subtree(
-            document.root, document, VersionSet([version]), version, options
+        subtree = _insert(
+            archive_root, document.root, document, version, options, stats, memo
         )
         archive_root.children.append(subtree)
         archive_root.children.sort(key=lambda c: token(c.label))
-        stats.nodes_inserted += 1
     else:
-        _merge_node(existing, document.root, document, version, inherited, options, stats)
+        _merge_node(
+            existing, document.root, document, version, inherited, options, stats, memo
+        )
     # Terminate any sibling roots absent from this version.
     for child in archive_root.children:
         if child.label != root_label and child.timestamp is None:
@@ -164,9 +382,26 @@ def _merge_node(
     inherited: VersionSet,
     options: MergeOptions,
     stats: MergeStats,
-) -> None:
-    """The paper's ``Nested Merge(x, y, T)`` with ``label(x) = label(y)``."""
+    memo: Optional[MergeMemo] = None,
+) -> bool:
+    """The paper's ``Nested Merge(x, y, T)`` with ``label(x) = label(y)``.
+
+    Returns whether the subtree below ``x`` is *uniform* after the merge
+    (skip-safe for the next version: no explicit timestamp below needs
+    augmenting while the content stays unchanged).
+    """
     stats.nodes_matched += 1
+    digest = memo.incoming.get(id(y)) if memo is not None else None
+    if memo is not None and digest is not None:
+        entry = memo.subtree.get(id(x))
+        if entry is not None and entry.digest == digest:
+            # Fingerprint hit on a uniform subtree: the only merge effect
+            # is augmenting x's own timestamp (descendants inherit it).
+            if x.timestamp is not None:
+                x.timestamp.add(version)
+            stats.subtrees_skipped += 1
+            stats.nodes_skipped += entry.count - 1
+            return True
     incoming_attributes = _attribute_pairs(y)
     if incoming_attributes != x.attributes:
         raise AttributeChangeError(
@@ -180,8 +415,10 @@ def _merge_node(
         current = inherited
 
     if document.is_frontier(y):
-        _merge_frontier(x, y, version, current, options, stats)
-        return
+        _merge_frontier(x, y, version, current, options, stats, memo, digest)
+        uniform = x.content_uniform()
+        _note_subtree(memo, x, y, digest, uniform)
+        return uniform
 
     token = options.sort_token()
     version_children = sorted(
@@ -189,6 +426,7 @@ def _merge_node(
     )
     # x.children is maintained sorted by the same token; merge-join.
     merged: list[ArchiveNode] = []
+    uniform = True
     i, j = 0, 0
     archive_children = x.children
     while i < len(archive_children) and j < len(version_children):
@@ -197,25 +435,57 @@ def _merge_node(
         x_token = token(x_child.label)
         y_token = token(document.label(y_child))
         if x_token == y_token:
-            _merge_node(x_child, y_child, document, version, current, options, stats)
+            child_uniform = _merge_node(
+                x_child, y_child, document, version, current, options, stats, memo
+            )
+            if not child_uniform or x_child.timestamp is not None:
+                uniform = False
             merged.append(x_child)
             i += 1
             j += 1
         elif x_token < y_token:
+            # A terminated child never contains ``version``, so it needs
+            # no augmentation from future skips: uniformity survives.
             _terminate(x_child, version, current, stats)
             merged.append(x_child)
             i += 1
         else:
-            merged.append(_insert(x, y_child, document, version, options, stats))
+            merged.append(
+                _insert(x, y_child, document, version, options, stats, memo)
+            )
+            uniform = False  # the fresh subtree's root timestamp is {version}
             j += 1
     while i < len(archive_children):
         _terminate(archive_children[i], version, current, stats)
         merged.append(archive_children[i])
         i += 1
     while j < len(version_children):
-        merged.append(_insert(x, version_children[j], document, version, options, stats))
+        merged.append(
+            _insert(x, version_children[j], document, version, options, stats, memo)
+        )
+        uniform = False
         j += 1
     x.children = merged
+    _note_subtree(memo, x, y, digest, uniform)
+    return uniform
+
+
+def _note_subtree(
+    memo: Optional[MergeMemo],
+    x: ArchiveNode,
+    y: Element,
+    digest: Optional[int],
+    uniform: bool,
+) -> None:
+    """Record (or retract) the skip certificate for a merged subtree."""
+    if memo is None or digest is None:
+        return
+    if uniform:
+        memo.subtree[id(x)] = SubtreeEntry(
+            digest=digest, count=memo.incoming_counts[id(y)]
+        )
+    else:
+        memo.subtree.pop(id(x), None)
 
 
 def _terminate(
@@ -235,12 +505,48 @@ def _insert(
     version: int,
     options: MergeOptions,
     stats: MergeStats,
+    memo: Optional[MergeMemo] = None,
 ) -> ArchiveNode:
     """Action (c): the version child is new; graft it with timestamp {i}."""
     stats.nodes_inserted += 1
-    return build_archive_subtree(
+    node = build_archive_subtree(
         y_child, document, VersionSet([version]), version, options
     )
+    if memo is not None:
+        _memoize_built(node, y_child, document, options, memo)
+    return node
+
+
+def _memoize_built(
+    node: ArchiveNode,
+    y: Element,
+    document: AnnotatedDocument,
+    options: MergeOptions,
+    memo: MergeMemo,
+) -> bool:
+    """Register skip certificates for every uniform keyed subtree of a
+    freshly built archive subtree, so the very next version can skip
+    its unchanged parts (the first version of a batch inserts the whole
+    document through this path).  Returns the root's uniformity."""
+    digest = memo.incoming.get(id(y))
+    if node.is_frontier:
+        uniform = node.content_uniform()
+    else:
+        token = options.sort_token()
+        ordered = sorted(
+            y.element_children(), key=lambda child: token(document.label(child))
+        )
+        # build_archive_subtree sorted node.children by the same (unique)
+        # tokens, so the lists pair positionally.
+        uniform = True
+        for child_node, child_y in zip(node.children, ordered):
+            if not _memoize_built(child_node, child_y, document, options, memo):
+                uniform = False
+    if uniform and digest is not None:
+        memo.subtree[id(node)] = SubtreeEntry(
+            digest=digest, count=memo.incoming_counts[id(y)]
+        )
+    return uniform
 
 
 def _merge_frontier(
@@ -250,16 +556,54 @@ def _merge_frontier(
     current: VersionSet,
     options: MergeOptions,
     stats: MergeStats,
+    memo: Optional[MergeMemo] = None,
+    digest: Optional[int] = None,
 ) -> None:
     """Frontier-node branch of the paper's algorithm."""
+    if memo is not None and digest is not None:
+        entry = memo.frontier.get(id(x))
+        if entry is not None and entry.digest == digest:
+            entry.augment(version)
+            stats.frontier_skips += 1
+            return
     if x.weave is not None:
         changed = merge_weave(x.weave, y.children, version)
         if changed:
             stats.frontier_content_changes += 1
+        _note_frontier(memo, x, version, digest)
         return
     assert x.alternatives is not None, "frontier node lost its content store"
     if merge_alternatives(x.alternatives, y.children, version, current):
         stats.frontier_content_changes += 1
+    _note_frontier(memo, x, version, digest)
+
+
+def _note_frontier(
+    memo: Optional[MergeMemo],
+    x: ArchiveNode,
+    version: int,
+    digest: Optional[int],
+) -> None:
+    """Remember which stored content is current after a frontier merge."""
+    if memo is None or digest is None:
+        return
+    if x.content_uniform():
+        # Untimestamped content is covered by the subtree certificate.
+        memo.frontier.pop(id(x), None)
+        return
+    if x.weave is not None:
+        segments = [
+            segment for segment in x.weave.segments if version in segment.timestamp
+        ]
+        memo.frontier[id(x)] = FrontierEntry(digest=digest, segments=segments)
+        return
+    assert x.alternatives is not None
+    for alternative in x.alternatives:
+        if alternative.timestamp is not None and version in alternative.timestamp:
+            memo.frontier[id(x)] = FrontierEntry(
+                digest=digest, alternative=alternative
+            )
+            return
 
 
 def merge_alternatives(

@@ -90,6 +90,38 @@ class ArchiveNode:
     def is_frontier(self) -> bool:
         return self.alternatives is not None or self.weave is not None
 
+    def content_uniform(self) -> bool:
+        """``True`` when this frontier node stores no explicit content
+        timestamps: a single untimestamped alternative (the content has
+        been identical for the node's whole lifetime) or an empty weave.
+        Such content inherits the node's timestamp wholesale, so a merge
+        of identical content is a no-op below the node."""
+        if self.alternatives is not None:
+            return len(self.alternatives) == 1 and self.alternatives[0].timestamp is None
+        if self.weave is not None:
+            return not self.weave.segments
+        return False
+
+    def subtree_uniform(self) -> bool:
+        """``True`` when no node strictly below carries an explicit
+        timestamp and every frontier node at or below stores uniform
+        content — the precondition for skip-merging this subtree: the
+        only state a merge of an unchanged version would touch is this
+        node's own timestamp."""
+        if self.is_frontier:
+            return self.content_uniform()
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            if node.timestamp is not None:
+                return False
+            if node.is_frontier:
+                if not node.content_uniform():
+                    return False
+                continue
+            stack.extend(node.children)
+        return True
+
     def effective_timestamp(self, inherited: VersionSet) -> VersionSet:
         """This node's timestamp, inheriting from the parent when absent."""
         return self.timestamp if self.timestamp is not None else inherited

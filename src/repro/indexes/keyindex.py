@@ -53,8 +53,22 @@ class KeyIndex:
 
     def __init__(self, archive: Archive) -> None:
         self.archive = archive
-        assert archive.root.timestamp is not None
-        self._root_list = self._build(archive.root, archive.root.timestamp)
+        self.refresh()
+
+    def refresh(self, archive: Optional[Archive] = None) -> None:
+        """Rebuild the sorted lists after the archive gained versions.
+
+        Batched ingestion mutates (or, for the persistent chunked store,
+        replaces) the archive as versions land; ``refresh`` re-anchors
+        the index to the current state — optionally to a new ``archive``
+        object — while callers keep holding the same index instance.
+        """
+        if archive is not None:
+            self.archive = archive
+        assert self.archive.root.timestamp is not None
+        self._root_list = self._build(
+            self.archive.root, self.archive.root.timestamp
+        )
 
     def _build(self, node: ArchiveNode, inherited: VersionSet) -> SortedChildList:
         records: list[IndexRecord] = []

@@ -143,8 +143,21 @@ class TimestampTreeIndex:
     def __init__(self, archive: Archive) -> None:
         self.archive = archive
         self._trees: dict[int, Optional[TimestampTreeNode]] = {}
-        assert archive.root.timestamp is not None
-        self._build(archive.root, archive.root.timestamp)
+        self.refresh()
+
+    def refresh(self, archive: Optional[Archive] = None) -> None:
+        """Rebuild the trees after the archive gained versions.
+
+        Mirrors :meth:`repro.indexes.keyindex.KeyIndex.refresh`: batched
+        ingestion calls this as versions land so retrieval keeps probing
+        current timestamps — optionally re-anchoring to a new ``archive``
+        object (the persistent chunked store reloads chunks per batch).
+        """
+        if archive is not None:
+            self.archive = archive
+        self._trees = {}
+        assert self.archive.root.timestamp is not None
+        self._build(self.archive.root, self.archive.root.timestamp)
 
     def _build(self, node: ArchiveNode, inherited: VersionSet) -> None:
         timestamp = node.effective_timestamp(inherited)

@@ -85,13 +85,16 @@ class AnnotatedDocument:
         return id(node) in self.frontier_ids
 
 
-def compute_key_value(node: Element, key: Key) -> KeyValue:
+def compute_key_value(node: Element, key: Key, value_of=None) -> KeyValue:
     """Evaluate a node's key value under ``key``.
 
     Raises :class:`KeyViolationError` unless every key path exists
     uniquely at the node (the paper's strong keys require unique
-    existence).
+    existence).  ``value_of`` overrides the target-value extractor
+    (default :func:`repro.keys.paths.value_at`); the archive parser uses
+    it to decode key targets stored in the Fig. 5 representation.
     """
+    value_of = value_of or value_at
     components: list[tuple[str, str]] = []
     for key_path in key.key_paths:
         targets = navigate(node, key_path)
@@ -106,7 +109,7 @@ def compute_key_value(node: Element, key: Key) -> KeyValue:
                 f"Key path {path_text!r} not unique at <{node.tag}> "
                 f"(key {key}): {len(targets)} occurrences"
             )
-        components.append((path_text, value_at(targets[0])))
+        components.append((path_text, value_of(targets[0])))
     components.sort(key=lambda item: item[0])
     return tuple(components)
 

@@ -5,7 +5,7 @@ k-way merging, the one-pass stream merge, and the
 :class:`ExternalArchiver` facade tying the three phases together.
 """
 
-from .archiver import ExternalArchiver, archive_to_stream
+from .archiver import ExternalArchiver, PersistentIngestor, archive_to_stream
 from .chunked import ChunkedArchiver, ChunkedArchiverError
 from .events import (
     DEFAULT_PAGE_SIZE,
@@ -33,6 +33,7 @@ __all__ = [
     "IOStats",
     "NodeEvent",
     "PeekableEvents",
+    "PersistentIngestor",
     "StreamMergeError",
     "archive_to_stream",
     "decode_event",

@@ -17,15 +17,23 @@ pages so the analysis of Sec. 6 can be checked experimentally.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Iterable, Optional
 
-from ..core.archive import Archive, ArchiveOptions, ROOT_TAG
+from ..core.archive import Archive, ArchiveOptions, ElementHistory, ROOT_TAG
 from ..core.merge import MergeStats
 from ..core.nodes import ArchiveNode
 from ..core.versionset import VersionSet
+from ..indexes.keyindex import KeyIndex
+from ..indexes.timestamp_tree import ProbeCount, TimestampTreeIndex
 from ..keys.annotate import KeyLabel, annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
+from .chunked import (
+    ChunkedArchiver,
+    ChunkedArchiverError,
+    concatenate_parts,
+    route_to_owning_chunk,
+)
 from .events import (
     DEFAULT_PAGE_SIZE,
     EventWriter,
@@ -113,6 +121,22 @@ class ExternalArchiver:
         os.replace(out_path, self.archive_path)
         os.remove(version_path)
         return merge_stats
+
+    def ingest_batch(self, documents: Iterable[Optional[Element]]) -> MergeStats:
+        """Annotate/sort/merge a whole sequence of versions.
+
+        The stream merge is already delta-driven (one pass over archive
+        and version streams), so the batch path's job is bookkeeping:
+        one ``last_version`` probe for the whole batch and accumulated
+        :class:`MergeStats`.  Subtree fingerprints live in the in-memory
+        and chunked paths; persisting digests in the event stream is the
+        sharding/async step the ROADMAP stages after this.
+        """
+        total = MergeStats()
+        for document in documents:
+            total.accumulate(self.add_version(document))
+            total.versions += 1
+        return total
 
     def _add_empty_version(self, number: int) -> None:
         out_path = os.path.join(self.directory, "archive.next.jsonl")
@@ -236,3 +260,110 @@ def archive_to_stream(archive: Archive, path: str, stats: IOStats) -> None:
         for child in archive.root.children:
             archive_node_to_events(child, writer)
         writer.write(ExitEvent())
+
+
+class PersistentIngestor:
+    """Batched ingestion into the persistent chunked store, with live
+    retrieval and history indexes.
+
+    The ingestion pipeline of :meth:`ChunkedArchiver.ingest_batch` flushes
+    each chunk to disk once per batch; this facade hooks that flush to
+    keep a :class:`~repro.indexes.keyindex.KeyIndex` (Sec. 7.2 history
+    lookups) and a
+    :class:`~repro.indexes.timestamp_tree.TimestampTreeIndex` (Sec. 7.1
+    guided retrieval) current per chunk, so queries between batches hit
+    indexes instead of re-walking chunk archives.  The index cache holds
+    each chunk's in-memory archive; the on-disk chunk files remain the
+    durable source of truth and are re-adopted lazily after a restart.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        spec: KeySpec,
+        chunk_count: int = 8,
+        options: Optional[ArchiveOptions] = None,
+    ) -> None:
+        self.chunked = ChunkedArchiver(directory, spec, chunk_count, options)
+        self._key_indexes: dict[int, KeyIndex] = {}
+        self._timestamp_indexes: dict[int, TimestampTreeIndex] = {}
+
+    @property
+    def last_version(self) -> int:
+        return self.chunked.last_version
+
+    def ingest_batch(self, documents: Iterable[Optional[Element]]) -> MergeStats:
+        """Batch-merge versions; chunk indexes refresh as chunks land."""
+        return self.chunked.ingest_batch(documents, on_chunk=self._index_chunk)
+
+    def _index_chunk(self, index: int, archive: Archive) -> None:
+        key_index = self._key_indexes.get(index)
+        if key_index is None:
+            self._key_indexes[index] = KeyIndex(archive)
+        else:
+            key_index.refresh(archive)
+        timestamp_index = self._timestamp_indexes.get(index)
+        if timestamp_index is None:
+            self._timestamp_indexes[index] = TimestampTreeIndex(archive)
+        else:
+            timestamp_index.refresh(archive)
+
+    def _adopt_chunk(self, index: int) -> bool:
+        """Lazily index a chunk that exists on disk but not in the cache
+        (e.g. after a restart)."""
+        if index in self._timestamp_indexes:
+            return True
+        if not os.path.exists(self.chunked._chunk_path(index)):
+            return False
+        self._index_chunk(index, self.chunked._load_chunk(index))
+        return True
+
+    def retrieve(self, version: int) -> tuple[Optional[Element], ProbeCount]:
+        """Concatenate per-chunk reconstructions, guided by the
+        timestamp trees; returns the probe accounting alongside."""
+        if not 1 <= version <= self.last_version:
+            raise ChunkedArchiverError(
+                f"Version {version} not archived (have 1..{self.last_version})"
+            )
+        probes = ProbeCount()
+
+        def parts():
+            for index in range(self.chunked.chunk_count):
+                if not self._adopt_chunk(index):
+                    continue
+                part, part_probes = self._timestamp_indexes[index].retrieve(version)
+                probes.tree_probes += part_probes.tree_probes
+                probes.fallback_scans += part_probes.fallback_scans
+                yield part
+
+        return concatenate_parts(parts()), probes
+
+    def history(self, path: str) -> ElementHistory:
+        """Route a history query through the owning chunk's key index.
+
+        The index's binary searches locate the owning chunk (and reject
+        the others) in ``O(l log d)``; the chunk's archive — already
+        cached by the index — then supplies the full
+        :class:`ElementHistory` including the ``changes`` content runs,
+        matching :meth:`ChunkedArchiver.history`.
+        """
+        def attempt(index: int):
+            if not self._adopt_chunk(index):
+                return None
+            key_index = self._key_indexes[index]
+            key_index.history(path)  # raises when not in this chunk
+            return key_index.archive.history(path)
+
+        return route_to_owning_chunk(self.chunked.chunk_count, attempt, path)
+
+    def drop_caches(self) -> None:
+        """Release the per-chunk index/archive caches.
+
+        The caches trade the chunked store's memory bound for query
+        speed: every indexed chunk's archive stays in RAM.  Long-lived
+        processes that have touched many chunks can drop the caches and
+        let :meth:`retrieve`/:meth:`history` re-adopt chunks lazily from
+        the durable chunk files.
+        """
+        self._key_indexes.clear()
+        self._timestamp_indexes.clear()

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Optional
+from typing import Callable, Iterable, Optional
 
 from ..core.archive import Archive, ArchiveOptions
+from ..core.ingest import IngestSession
 from ..core.merge import MergeStats
 from ..keys.annotate import annotate_keys, compute_key_value
 from ..keys.spec import KeySpec
@@ -32,6 +33,49 @@ from ..xmltree.parser import parse_document
 
 class ChunkedArchiverError(ValueError):
     """Raised on misconfiguration or unusable documents."""
+
+
+def concatenate_parts(parts) -> Optional[Element]:
+    """Concatenate per-chunk reconstructions under one root shell.
+
+    ``parts`` yields each chunk's reconstruction (``None`` for chunks
+    without content at the version); the first non-``None`` part
+    donates the root tag and attributes — the paper's "concatenating
+    the results".  Shared by every chunk-partitioned reader.
+    """
+    result: Optional[Element] = None
+    for part in parts:
+        if part is None:
+            continue
+        if result is None:
+            result = Element(part.tag)
+            for attr in part.attributes:
+                result.set_attribute(attr.name, attr.value)
+        for child in part.children:
+            result.append(child)
+    return result
+
+
+def route_to_owning_chunk(chunk_count: int, attempt, path: str):
+    """Probe chunks until one answers a keyed-path query.
+
+    ``attempt(index)`` returns ``None`` for chunks with no stored data
+    and raises when the element is not in that chunk (every chunk
+    shares the global version numbering, so the first answer is *the*
+    answer).  Re-raises the last miss when no chunk answers.
+    """
+    last_error: Optional[Exception] = None
+    for index in range(chunk_count):
+        try:
+            result = attempt(index)
+        except Exception as error:  # not in this chunk
+            last_error = error
+            continue
+        if result is not None:
+            return result
+    if last_error is not None:
+        raise last_error
+    raise ChunkedArchiverError(f"No element at {path!r} in any chunk")
 
 
 class ChunkedArchiver:
@@ -138,13 +182,58 @@ class ChunkedArchiver:
             if part is None and not chunk_exists:
                 continue  # nothing stored, nothing new: stay lazy
             archive = self._load_chunk(index)
-            stats = archive.add_version(part)
-            total.nodes_matched += stats.nodes_matched
-            total.nodes_inserted += stats.nodes_inserted
-            total.nodes_terminated += stats.nodes_terminated
-            total.frontier_content_changes += stats.frontier_content_changes
+            total.accumulate(archive.add_version(part))
             self._store_chunk(index, archive)
+        total.versions = 1
         self._version_count += 1
+        self._store_version_count()
+        return total
+
+    def ingest_batch(
+        self,
+        documents: Iterable[Optional[Element]],
+        on_chunk: Optional[Callable[[int, Archive], None]] = None,
+    ) -> MergeStats:
+        """Merge a whole sequence of versions chunk-major.
+
+        Where a loop over :meth:`add_version` loads, re-parses and
+        re-serializes every chunk *per version*, the batch path
+        partitions all versions up front, then touches each chunk
+        exactly once: load, run a fingerprint-memoized
+        :class:`~repro.core.ingest.IngestSession` over the chunk's slice
+        of every version, store.  ``on_chunk(index, archive)`` fires as
+        each chunk's versions land (before the in-memory archive is
+        dropped) — the hook the index-maintaining persistent layer uses.
+
+        The chunk-major order trades memory for I/O: the whole batch's
+        partitions stay in memory until their chunks are processed, so
+        peak memory is one chunk plus the *batch's* records rather than
+        the single version the per-version loop holds.  Callers on the
+        paper's 256 MB budget bound it by ingesting in slices —
+        consecutive ``ingest_batch`` calls produce chunk files identical
+        to one big batch (and to a per-version loop).
+        """
+        partitions = [
+            self._partition(document) if document is not None else {}
+            for document in documents
+        ]
+        total = MergeStats()
+        for index in range(self.chunk_count):
+            chunk_exists = os.path.exists(self._chunk_path(index))
+            if not chunk_exists and not any(index in parts for parts in partitions):
+                continue  # never stored, never mentioned: stay lazy
+            archive = self._load_chunk(index)
+            session = IngestSession(archive)
+            for parts in partitions:
+                # Versions without records for this chunk are empty
+                # versions locally, keeping timestamps globally aligned.
+                session.add(parts.get(index))
+            self._store_chunk(index, archive)
+            if on_chunk is not None:
+                on_chunk(index, archive)
+            total.accumulate(session.stats)
+        total.versions = len(partitions)
+        self._version_count += len(partitions)
         self._store_version_count()
         return total
 
@@ -154,41 +243,25 @@ class ChunkedArchiver:
             raise ChunkedArchiverError(
                 f"Version {version} not archived (have 1..{self._version_count})"
             )
-        result: Optional[Element] = None
-        for index in range(self.chunk_count):
-            if not os.path.exists(self._chunk_path(index)):
-                continue
-            archive = self._load_chunk(index)
-            part = archive.retrieve(version)
-            if part is None:
-                continue
-            if result is None:
-                result = Element(part.tag)
-                for attr in part.attributes:
-                    result.set_attribute(attr.name, attr.value)
-            for child in part.children:
-                result.append(child)
-        return result
+        return concatenate_parts(
+            self._load_chunk(index).retrieve(version)
+            for index in range(self.chunk_count)
+            if os.path.exists(self._chunk_path(index))
+        )
 
     def history(self, path: str):
         """Route a history query to the owning chunk.
 
         The first step of the path identifies the root; the second the
-        record, whose key value decides the chunk.  Every chunk shares
-        the global version numbering, so results compose directly.
+        record, whose key value decides the chunk.
         """
-        last_error: Optional[Exception] = None
-        for index in range(self.chunk_count):
+
+        def attempt(index: int):
             if not os.path.exists(self._chunk_path(index)):
-                continue
-            archive = self._load_chunk(index)
-            try:
-                return archive.history(path)
-            except Exception as error:  # not in this chunk
-                last_error = error
-        if last_error is not None:
-            raise last_error
-        raise ChunkedArchiverError(f"No element at {path!r} in any chunk")
+                return None
+            return self._load_chunk(index).history(path)
+
+        return route_to_owning_chunk(self.chunk_count, attempt, path)
 
     def total_bytes(self) -> int:
         """Summed size of all chunk files (the paper concatenates)."""

@@ -1,0 +1,202 @@
+"""Round-trip regression tests for the Fig. 5 XML representation.
+
+``to_xml_string``/``from_xml_string`` must be inverse on the encoding's
+corner cases: empty versions (a ``<T>`` root timestamp with a gap in
+the database node's), deleted-then-reinserted elements (split interval
+timestamps), and frontier weaves (further compaction's per-segment
+``<T>`` nodes sharing the surface syntax of alternatives).
+"""
+
+import pytest
+
+from repro.core import Archive, ArchiveOptions, documents_equivalent
+from repro.keys import parse_key_spec
+from repro.xmltree import parse_document
+
+SPEC_TEXT = """
+(/, (db, {}))
+(/db, (rec, {id}))
+(/db/rec, (id, {}))
+(/db/rec, (val, {}))
+"""
+
+
+@pytest.fixture
+def spec():
+    return parse_key_spec(SPEC_TEXT)
+
+
+def _doc(*pairs):
+    inner = "".join(
+        f"<rec><id>{rec_id}</id><val>{val}</val></rec>" for rec_id, val in pairs
+    )
+    return parse_document(f"<db>{inner}</db>")
+
+
+def _roundtrip(archive, spec, options=None):
+    """Serialize, reparse, and check the reparse reproduces the string."""
+    text = archive.to_xml_string()
+    reloaded = Archive.from_xml_string(text, spec, options)
+    assert reloaded.to_xml_string() == text
+    return reloaded
+
+
+class TestEmptyVersions:
+    def test_leading_trailing_and_interior_empties(self, spec):
+        archive = Archive(spec)
+        archive.add_version(None)
+        archive.add_version(_doc(("1", "x")))
+        archive.add_version(None)
+        archive.add_version(_doc(("1", "x")))
+        archive.add_version(None)
+        reloaded = _roundtrip(archive, spec)
+        assert reloaded.version_count == 5
+        for version in (1, 3, 5):
+            assert reloaded.retrieve(version) is None
+        for version in (2, 4):
+            assert documents_equivalent(
+                reloaded.retrieve(version), _doc(("1", "x")), spec
+            )
+
+    def test_all_versions_empty(self, spec):
+        archive = Archive(spec)
+        archive.add_version(None)
+        archive.add_version(None)
+        reloaded = _roundtrip(archive, spec)
+        assert reloaded.version_count == 2
+        assert reloaded.retrieve(1) is None
+        assert reloaded.retrieve(2) is None
+
+
+class TestDeletedThenReinserted:
+    def test_identical_reinsertion_splits_timestamp(self, spec):
+        archive = Archive(spec)
+        archive.add_version(_doc(("1", "x"), ("2", "y")))
+        archive.add_version(_doc(("2", "y")))
+        archive.add_version(_doc(("1", "x"), ("2", "y")))
+        reloaded = _roundtrip(archive, spec)
+        history = reloaded.history("/db/rec[id=1]")
+        assert history.existence.to_text() == "1,3"
+        assert documents_equivalent(
+            reloaded.retrieve(3), _doc(("1", "x"), ("2", "y")), spec
+        )
+        assert documents_equivalent(reloaded.retrieve(2), _doc(("2", "y")), spec)
+
+    def test_changed_reinsertion_keeps_both_contents(self, spec):
+        archive = Archive(spec)
+        archive.add_version(_doc(("1", "old")))
+        archive.add_version(_doc(("2", "other")))
+        archive.add_version(_doc(("1", "new"), ("2", "other")))
+        reloaded = _roundtrip(archive, spec)
+        changes = reloaded.history("/db/rec[id=1]/val").changes
+        rendered = {content for _, content in changes}
+        assert rendered == {"old", "new"}
+        assert documents_equivalent(reloaded.retrieve(1), _doc(("1", "old")), spec)
+        assert documents_equivalent(
+            reloaded.retrieve(3), _doc(("1", "new"), ("2", "other")), spec
+        )
+
+
+class TestFrontierWeaves:
+    """Further compaction stores frontier content as timestamped weave
+    segments; the archive must be read back with ``compaction=True`` and
+    reproduce every intermediate line state."""
+
+    CONTENTS = [
+        "alpha\nbeta\ngamma",
+        "alpha\nBETA\ngamma",  # middle line rewritten
+        "alpha\nBETA\ngamma\ndelta",  # line appended
+        "BETA\ngamma\ndelta",  # leading line dropped
+    ]
+
+    def _weave_archive(self, spec):
+        options = ArchiveOptions(compaction=True)
+        archive = Archive(spec, options)
+        for content in self.CONTENTS:
+            archive.add_version(_doc(("1", content)))
+        return archive, options
+
+    def test_weave_round_trip_reproduces_every_version(self, spec):
+        archive, options = self._weave_archive(spec)
+        reloaded = _roundtrip(archive, spec, options)
+        for number, content in enumerate(self.CONTENTS, start=1):
+            assert documents_equivalent(
+                reloaded.retrieve(number), _doc(("1", content)), spec
+            )
+
+    def test_storage_form_detected_without_options(self, spec):
+        """The ``storage="weave"`` marker makes the file self-describing:
+        parsing with default options must still decode the weaves."""
+        archive, _ = self._weave_archive(spec)
+        text = archive.to_xml_string()
+        assert 'storage="weave"' in text
+        reloaded = Archive.from_xml_string(text, spec)  # no options passed
+        assert reloaded.options.compaction
+        assert reloaded.to_xml_string() == text
+        for number, content in enumerate(self.CONTENTS, start=1):
+            assert documents_equivalent(
+                reloaded.retrieve(number), _doc(("1", content)), spec
+            )
+
+    def test_plain_archive_overrides_stale_compaction_option(self, spec):
+        """The reverse mismatch: a plain (alternatives) archive opened
+        with ``compaction=True`` must not be misparsed as weaves — the
+        marker wins in both directions."""
+        archive = Archive(spec)
+        archive.add_version(_doc(("1", "x")))
+        text = archive.to_xml_string()
+        assert 'storage="alternatives"' in text
+        reloaded = Archive.from_xml_string(
+            text, spec, ArchiveOptions(compaction=True)
+        )
+        assert not reloaded.options.compaction
+        assert documents_equivalent(reloaded.retrieve(1), _doc(("1", "x")), spec)
+        assert reloaded.to_xml_string() == text
+
+    def test_unknown_storage_marker_rejected(self, spec):
+        archive = Archive(spec)
+        archive.add_version(_doc(("1", "x")))
+        text = archive.to_xml_string().replace(
+            'storage="alternatives"', 'storage="mystery"'
+        )
+        with pytest.raises(ValueError):
+            Archive.from_xml_string(text, spec)
+
+    def test_weave_with_empty_version_gap(self, spec):
+        options = ArchiveOptions(compaction=True)
+        archive = Archive(spec, options)
+        archive.add_version(_doc(("1", "a\nb")))
+        archive.add_version(None)
+        archive.add_version(_doc(("1", "a\nc")))
+        reloaded = _roundtrip(archive, spec, options)
+        assert reloaded.retrieve(2) is None
+        assert documents_equivalent(reloaded.retrieve(1), _doc(("1", "a\nb")), spec)
+        assert documents_equivalent(reloaded.retrieve(3), _doc(("1", "a\nc")), spec)
+
+    def test_reloaded_archive_merges_by_decoded_labels(self, spec):
+        """Regression: key values of a parsed archive must be decoded
+        from the weave encoding — a reloaded archive that labels ``rec``
+        by the raw ``<T>``-wrapped serialization would terminate and
+        re-insert every record on the next merge instead of matching."""
+        options = ArchiveOptions(compaction=True)
+        archive = Archive(spec, options)
+        archive.add_version(_doc(("1", "x")))
+        reloaded = Archive.from_xml_string(archive.to_xml_string(), spec, options)
+        stats = reloaded.add_version(_doc(("1", "x")))
+        assert stats.nodes_terminated == 0
+        assert stats.nodes_inserted == 0
+        sequential = Archive(spec, options)
+        sequential.add_version(_doc(("1", "x")))
+        sequential.add_version(_doc(("1", "x")))
+        assert reloaded.to_xml_string() == sequential.to_xml_string()
+
+    def test_batch_built_weave_round_trips(self, spec):
+        """The batched path and a round trip compose under compaction."""
+        options = ArchiveOptions(compaction=True)
+        archive = Archive(spec, options)
+        archive.add_versions(_doc(("1", content)) for content in self.CONTENTS)
+        reloaded = _roundtrip(archive, spec, options)
+        for number, content in enumerate(self.CONTENTS, start=1):
+            assert documents_equivalent(
+                reloaded.retrieve(number), _doc(("1", content)), spec
+            )

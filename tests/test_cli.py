@@ -100,6 +100,90 @@ class TestQueries:
         assert "versions:           4" in out
 
 
+class TestIngest:
+    def test_ingest_directory_creates_and_fills_archive(self, workspace, capsys):
+        snapshots = workspace / "snapshots"
+        os.makedirs(snapshots)
+        for number, version in enumerate(company_versions(), start=1):
+            write_file(version, str(snapshots / f"v{number:03d}.xml"))
+        archive = workspace / "batch.xml"
+        code = run("ingest", archive, snapshots, "--keys", workspace / "keys.txt")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 4 versions" in out
+        assert archive.exists()
+        assert (workspace / "batch.xml.keys").exists()
+        assert run("get", archive, "3") == 0
+
+    def test_ingest_matches_add_loop(self, workspace):
+        batch = workspace / "batch.xml"
+        run(
+            "ingest", batch,
+            workspace / "v1.xml", workspace / "v2.xml",
+            workspace / "v3.xml", workspace / "v4.xml",
+            "--keys", workspace / "keys.txt",
+        )
+        loop = workspace / "loop.xml"
+        run("init", loop, "--keys", workspace / "keys.txt")
+        run(
+            "add", loop,
+            workspace / "v1.xml", workspace / "v2.xml",
+            workspace / "v3.xml", workspace / "v4.xml",
+        )
+        assert batch.read_text() == loop.read_text()
+
+    def test_ingest_into_existing_archive(self, loaded, workspace, capsys):
+        code = run("ingest", loaded, workspace / "v4.xml")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "version 5" in out
+        assert run("get", loaded, "5") == 0
+
+    def test_ingest_reports_skips(self, workspace, capsys):
+        archive = workspace / "batch.xml"
+        code = run(
+            "ingest", archive,
+            workspace / "v3.xml", workspace / "v3.xml",
+            "--keys", workspace / "keys.txt",
+        )
+        assert code == 0
+        assert "skipped 1 subtrees" in capsys.readouterr().out
+
+    def test_compaction_archive_is_self_describing(self, workspace, capsys):
+        """An archive written with --compaction must be read correctly
+        by later invocations that do not repeat the flag: the storage
+        form travels inside the archive file."""
+        archive = workspace / "weave.xml"
+        run(
+            "ingest", archive, workspace / "v1.xml", workspace / "v2.xml",
+            "--keys", workspace / "keys.txt", "--compaction",
+        )
+        capsys.readouterr()
+        # Retrieval without the flag decodes the weaves...
+        assert run("get", archive, "2") == 0
+        out = capsys.readouterr().out
+        assert "<fn>Jane</fn>" in out
+        assert "weave-text" not in out
+        # ...and a follow-up ingest without the flag merges, not corrupts.
+        assert run("ingest", archive, workspace / "v3.xml") == 0
+        capsys.readouterr()
+        assert run("get", archive, "3") == 0
+        out = capsys.readouterr().out
+        assert "<sal>90K</sal>" in out
+        assert "weave-text" not in out
+
+    def test_ingest_missing_archive_without_keys(self, workspace):
+        with pytest.raises(SystemExit):
+            run("ingest", workspace / "absent.xml", workspace / "v1.xml")
+
+    def test_ingest_empty_directory(self, workspace):
+        empty = workspace / "empty"
+        os.makedirs(empty)
+        with pytest.raises(SystemExit):
+            run("ingest", workspace / "batch.xml", empty,
+                "--keys", workspace / "keys.txt")
+
+
 class TestMine:
     def test_mine_to_stdout(self, workspace, capsys):
         code = run("mine", workspace / "v3.xml", workspace / "v4.xml")

@@ -1,0 +1,170 @@
+"""Property tests of batched ingestion (repro.core.ingest).
+
+For random version sequences — including empty versions, deletions,
+reinsertions and content flip-flops — ``add_versions(batch)`` must
+produce an archive whose ``retrieve(v)`` is canonically equal to the
+original document for every ``v``, and whose XML form is *identical* to
+the archive built by repeated ``add_version`` — across all four
+combinations of ``compaction`` × ``fingerprinter`` options (plus the
+collision-forcing narrow fingerprinter).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Archive,
+    ArchiveOptions,
+    Fingerprinter,
+    IngestSession,
+    documents_equivalent,
+)
+from repro.data.company import company_key_spec
+from repro.xmltree import Element, Text
+
+# The four combinations the satellite task names, plus the bits=2
+# configuration that deliberately forces sorting-fingerprint collisions
+# (skip digests must stay wide regardless).
+CONFIGURATIONS = [
+    ArchiveOptions(),
+    ArchiveOptions(compaction=True),
+    ArchiveOptions(fingerprinter=Fingerprinter(bits=64)),
+    ArchiveOptions(fingerprinter=Fingerprinter(bits=64), compaction=True),
+    ArchiveOptions(fingerprinter=Fingerprinter(bits=2)),
+]
+
+_names = st.sampled_from(["ann", "bob", "cat", "dan"])
+_salaries = st.sampled_from(["10K", "20K", "30K"])
+
+
+@st.composite
+def _employee(draw):
+    return {
+        "fn": draw(_names),
+        "ln": draw(_names),
+        "sal": draw(st.one_of(st.none(), _salaries)),
+    }
+
+
+@st.composite
+def _state(draw):
+    dept_names = draw(st.sets(st.sampled_from(["dx", "dy", "dz"]), max_size=3))
+    state = {}
+    for name in sorted(dept_names):
+        unique = {}
+        for emp in draw(st.lists(_employee(), max_size=3)):
+            unique[(emp["fn"], emp["ln"])] = emp
+        state[name] = unique
+    return state
+
+
+def _document(state) -> Element:
+    db = Element("db")
+    for dept_name, employees in state.items():
+        dept = db.append(Element("dept"))
+        dept.append(Element("name")).append(Text(dept_name))
+        for (fn, ln), emp in employees.items():
+            emp_el = dept.append(Element("emp"))
+            emp_el.append(Element("fn")).append(Text(fn))
+            emp_el.append(Element("ln")).append(Text(ln))
+            if emp["sal"] is not None:
+                emp_el.append(Element("sal")).append(Text(emp["sal"]))
+    return db
+
+
+# ``None`` entries are empty versions — the Sec. 2 corner the batch
+# path must thread through the memo unchanged.
+_sequences = st.lists(
+    st.one_of(st.none(), _state()), min_size=1, max_size=6
+)
+
+
+@pytest.mark.parametrize(
+    "options", CONFIGURATIONS, ids=lambda o: repr(o)
+)
+@given(states=_sequences)
+@settings(max_examples=40, deadline=None)
+def test_batch_equals_sequential_and_originals(options, states):
+    spec = company_key_spec()
+    documents = [None if s is None else _document(s) for s in states]
+
+    sequential = Archive(spec, options)
+    for document in documents:
+        sequential.add_version(None if document is None else document.copy())
+
+    batched = Archive(spec, options)
+    total = batched.add_versions(
+        None if document is None else document.copy() for document in documents
+    )
+
+    assert total.versions == len(documents)
+    assert batched.to_xml_string() == sequential.to_xml_string()
+    for number, document in enumerate(documents, start=1):
+        rebuilt = batched.retrieve(number)
+        if document is None:
+            assert rebuilt is None
+        else:
+            assert documents_equivalent(rebuilt, document, spec)
+
+
+@pytest.mark.parametrize(
+    "options", CONFIGURATIONS, ids=lambda o: repr(o)
+)
+@given(prefix=_sequences, suffix=_sequences)
+@settings(max_examples=25, deadline=None)
+def test_seeded_session_on_existing_archive(options, prefix, suffix):
+    """A batch appended to a pre-existing archive (memo seeded from its
+    current state) must match the all-sequential build, even after the
+    archive round-trips through its XML form."""
+    spec = company_key_spec()
+    before = [None if s is None else _document(s) for s in prefix]
+    after = [None if s is None else _document(s) for s in suffix]
+
+    sequential = Archive(spec, options)
+    for document in before + after:
+        sequential.add_version(None if document is None else document.copy())
+
+    base = Archive(spec, options)
+    for document in before:
+        base.add_version(None if document is None else document.copy())
+    reloaded = Archive.from_xml_string(base.to_xml_string(), spec, options)
+    session = IngestSession(reloaded)
+    for document in after:
+        session.add(None if document is None else document.copy())
+
+    assert reloaded.to_xml_string() == sequential.to_xml_string()
+
+
+def test_identical_versions_collapse_to_single_root_skip():
+    """Re-archiving an identical document is one digest hit at the
+    document root: a single merge visit, the rest skipped."""
+    spec = company_key_spec()
+    state = {"dx": {("ann", "bob"): {"fn": "ann", "ln": "bob", "sal": "10K"}}}
+    archive = Archive(spec)
+    session = IngestSession(archive)
+    session.add(_document(state))
+    stats = session.add(_document(state))
+    assert stats.subtrees_skipped == 1
+    assert stats.nodes_matched == 1
+    assert stats.nodes_inserted == 0
+
+
+def test_delete_then_reinsert_skips_and_splits_timestamp():
+    """A subtree deleted and later reinserted unchanged is recognized by
+    its fingerprint: the merge skips the descent and the timestamp
+    records the gap."""
+    spec = company_key_spec()
+    full = {
+        "dx": {("ann", "bob"): {"fn": "ann", "ln": "bob", "sal": "10K"}},
+        "dy": {("cat", "dan"): {"fn": "cat", "ln": "dan", "sal": "20K"}},
+    }
+    partial = {"dx": full["dx"]}
+    archive = Archive(spec)
+    session = IngestSession(archive)
+    session.add(_document(full))
+    session.add(_document(partial))
+    stats = session.add(_document(full))
+    assert stats.subtrees_skipped >= 2  # dx skipped, dy skip-reinserted
+    history = archive.history("/db/dept[name=dy]")
+    assert history.existence.to_text() == "1,3"

@@ -133,6 +133,129 @@ class TestAlgebra:
         assert 2 not in a
 
 
+class TestAdversarialText:
+    """``parse``/``to_text`` inverse on interval strings a well-behaved
+    writer would never emit: unsorted, overlapping, adjacent, redundant
+    and whitespace-padded forms must normalize to the canonical
+    encoding, and the canonical encoding must be a fixed point."""
+
+    @pytest.mark.parametrize(
+        "text, canonical",
+        [
+            ("9-9", "9"),  # degenerate range
+            ("1-2,3-4", "1-4"),  # adjacent ranges fuse
+            ("5,1-3,2", "1-3,5"),  # unsorted with overlap
+            ("1-10,2-5", "1-10"),  # nested range absorbed
+            ("3,3,3", "3"),  # repeats collapse
+            ("2-4,4-6", "2-6"),  # overlap at boundary
+            (" 1 - 3 , 7 ", "1-3,7"),  # whitespace tolerated
+            ("10,9,8,7", "7-10"),  # descending singles fuse
+            ("1,3,5,7", "1,3,5,7"),  # canonical already
+            ("", ""),  # empty set
+        ],
+    )
+    def test_parse_normalizes(self, text, canonical):
+        assert VersionSet.parse(text).to_text() == canonical
+
+    @pytest.mark.parametrize(
+        "text",
+        ["9-9", "1-2,3-4", "5,1-3,2", "1-10,2-5", "3,3,3", "2-4,4-6", ""],
+    )
+    def test_to_text_is_parse_inverse(self, text):
+        vs = VersionSet.parse(text)
+        assert VersionSet.parse(vs.to_text()) == vs
+        # A second round is a fixed point.
+        assert VersionSet.parse(vs.to_text()).to_text() == vs.to_text()
+
+    def test_parse_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            VersionSet.parse("5-3")
+
+    def test_parse_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            VersionSet.parse("0-4")
+
+
+class TestDiscardSplitting:
+    def test_discard_interior_splits_interval(self):
+        vs = VersionSet.parse("1-5")
+        vs.discard(3)
+        assert vs.intervals() == [(1, 2), (4, 5)]
+
+    def test_discard_low_boundary_trims(self):
+        vs = VersionSet.parse("1-5")
+        vs.discard(1)
+        assert vs.intervals() == [(2, 5)]
+
+    def test_discard_high_boundary_trims(self):
+        vs = VersionSet.parse("1-5")
+        vs.discard(5)
+        assert vs.intervals() == [(1, 4)]
+
+    def test_discard_singleton_removes_interval(self):
+        vs = VersionSet.parse("1-3,5,7-9")
+        vs.discard(5)
+        assert vs.intervals() == [(1, 3), (7, 9)]
+
+    def test_repeated_discards_dissolve_interval(self):
+        vs = VersionSet.parse("1-4")
+        for version in (2, 3):
+            vs.discard(version)
+        assert vs.intervals() == [(1, 1), (4, 4)]
+        vs.discard(1)
+        vs.discard(4)
+        assert not vs
+
+    def test_discard_then_readd_restores(self):
+        vs = VersionSet.parse("1-5")
+        vs.discard(3)
+        vs.add(3)
+        assert vs.to_text() == "1-5"
+
+
+class TestSupersetDifferenceIntervalSets:
+    """``issuperset``/``difference`` over disjoint and nested interval
+    sets — the shapes timestamp algebra produces when elements vanish
+    and return."""
+
+    def test_superset_nested_intervals(self):
+        big = VersionSet.parse("1-10,20-30")
+        nested = VersionSet.parse("3-4,22,25-27")
+        assert big.issuperset(nested)
+        assert not nested.issuperset(big)
+
+    def test_superset_disjoint_intervals(self):
+        a = VersionSet.parse("1-3,10-12")
+        b = VersionSet.parse("5-7")
+        assert not a.issuperset(b)
+        assert not b.issuperset(a)
+
+    def test_superset_straddling_gap_fails(self):
+        # Every member present... except the probe spans the gap.
+        a = VersionSet.parse("1-4,6-9")
+        assert not a.issuperset(VersionSet.parse("4-6"))
+        assert a.issuperset(VersionSet.parse("3-4,6-7"))
+
+    def test_difference_disjoint_is_identity(self):
+        a = VersionSet.parse("1-3,8-9")
+        b = VersionSet.parse("5-6")
+        assert a.difference(b) == a
+
+    def test_difference_nested_punches_hole(self):
+        a = VersionSet.parse("1-10")
+        b = VersionSet.parse("4-6")
+        assert a.difference(b).to_text() == "1-3,7-10"
+
+    def test_difference_of_self_is_empty(self):
+        a = VersionSet.parse("1-3,5,7-9")
+        assert not a.difference(a)
+
+    def test_difference_interleaved(self):
+        a = VersionSet.parse("1-3,5-7,9-11")
+        b = VersionSet.parse("2,6,10")
+        assert a.difference(b).to_text() == "1,3,5,7,9,11"
+
+
 # -- property-based ------------------------------------------------------------
 
 _sets = st.frozensets(st.integers(min_value=1, max_value=60), max_size=25)
