@@ -1,0 +1,64 @@
+"""Trim a pytest-benchmark ``--benchmark-json`` dump to a committable
+summary.
+
+The raw dump embeds machine info, commit metadata and every sampled
+round — noisy and environment-bound.  The summary keeps what a perf
+trajectory needs: per-test min/mean/stddev (seconds), round counts and
+ops/sec, so successive CI runs (and the committed ``BENCH_*.json``
+baselines under ``benchmarks/results/``) can be diffed for regressions.
+
+Usage::
+
+    python -m pytest benchmarks/test_perf_retrieval.py \
+        --benchmark-json=/tmp/raw.json
+    python benchmarks/summarize_bench.py /tmp/raw.json \
+        benchmarks/results/BENCH_retrieval.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def summarize(raw: dict) -> dict:
+    benchmarks = []
+    for entry in raw.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        benchmarks.append(
+            {
+                "name": entry.get("name"),
+                "group": entry.get("group"),
+                "min_s": stats.get("min"),
+                "mean_s": stats.get("mean"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+                "ops": stats.get("ops"),
+            }
+        )
+    benchmarks.sort(key=lambda item: item["name"] or "")
+    return {
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(
+            "usage: summarize_bench.py <raw-benchmark.json> <summary.json>",
+            file=sys.stderr,
+        )
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    summary = summarize(raw)
+    with open(argv[2], "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(summary['benchmarks'])} benchmark summaries to {argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,15 +1,17 @@
 """TIME-RETR — Sec. 7.1: version retrieval, plain scan vs timestamp trees.
 
 The probe-count claim: for a sparse early version in a heavily accreted
-archive, the timestamp trees probe far fewer nodes than the scan; for a
-dense recent version (α > k/8) the two are within a constant factor.
+archive, the archive-integrated timestamp trees probe far fewer nodes
+than the scan — the acceptance bar is ≤ 1/3 of the naive count, with
+byte-identical reconstructions; for a dense recent version (α > k/8)
+the two stay within a constant factor (the paper's 2k fallback bound).
 """
 
 from conftest import publish
 
-from repro.core import Archive
+from repro.core import Archive, ProbeCount
 from repro.data import OmimChangeRates, OmimGenerator, omim_key_spec
-from repro.indexes import TimestampTreeIndex
+from repro.xmltree.serializer import to_string
 
 
 def _accreted_archive():
@@ -21,33 +23,49 @@ def _accreted_archive():
         ),
     )
     archive = Archive(omim_key_spec())
-    for version in generator.generate_versions(9):
+    for version in generator.generate_versions(12):
         archive.add_version(version)
     return archive
 
 
 def test_plain_scan_retrieval(benchmark):
     archive = _accreted_archive()
-    result = benchmark(lambda: archive.retrieve(1))
+    result = benchmark(lambda: archive.retrieve(1, guided=False))
     assert result is not None
 
 
 def test_timestamp_tree_retrieval(benchmark):
     archive = _accreted_archive()
-    index = TimestampTreeIndex(archive)
-    result, _ = benchmark(lambda: index.retrieve(1))
+    archive.retrieve(1)  # build the lazy trees outside the timed region
+    result = benchmark(lambda: archive.retrieve(1))
     assert result is not None
+
+
+def test_timestamp_tree_retrieval_cold(benchmark):
+    """First-retrieve cost: lazy tree construction included."""
+
+    def cold():
+        archive = _accreted_archive()
+        return archive.retrieve(1)
+
+    assert benchmark.pedantic(cold, rounds=3, iterations=1) is not None
 
 
 def test_probe_counts(once, results_dir):
     archive = _accreted_archive()
-    index = TimestampTreeIndex(archive)
 
     def measure():
         rows = []
         for version in (1, archive.last_version):
-            _, probes = index.retrieve(version)
-            rows.append((version, probes.total(), index.naive_probe_count(version)))
+            probes = ProbeCount()
+            guided = archive.retrieve(version, probes=probes)
+            scan = archive.retrieve(version, guided=False)
+            assert guided is not None and scan is not None
+            # The fast path must reconstruct the identical document.
+            assert to_string(guided) == to_string(scan)
+            rows.append(
+                (version, probes.total(), archive.scan_probe_count(version))
+            )
         return rows
 
     rows = once(measure)
@@ -58,8 +76,9 @@ def test_probe_counts(once, results_dir):
     publish(results_dir, "retrieval_probes.txt", text)
     sparse_version, sparse_tree, sparse_naive = rows[0]
     dense_version, dense_tree, dense_naive = rows[1]
-    # Sparse early version: trees must save probes.
-    assert sparse_tree < sparse_naive
+    # Sparse early version: the integrated trees must probe at most a
+    # third of what the scan checks (acceptance bar of PR 2).
+    assert sparse_tree * 3 <= sparse_naive
     # Dense latest version: at worst a small constant factor over naive
     # (the paper's 2k fallback bound).
     assert dense_tree <= 3 * dense_naive

@@ -26,6 +26,7 @@ import sys
 from .core.archive import Archive, ArchiveOptions
 from .core.ingest import IngestSession
 from .core.tempquery import archive_diff
+from .core.tstree import ProbeCount
 from .keys.keyparser import parse_key_spec
 from .keys.mining import mine_keys
 from .keys.spec import KeySpec
@@ -145,7 +146,16 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 def cmd_get(args: argparse.Namespace) -> int:
     archive, _ = _load_archive(args)
-    document = archive.retrieve(args.version)
+    probes = ProbeCount() if args.probes else None
+    document = archive.retrieve(args.version, probes=probes)
+    if probes is not None:
+        naive = archive.scan_probe_count(args.version)
+        print(
+            f"probed {probes.total()} timestamp-tree nodes "
+            f"({probes.tree_probes} tree, {probes.fallback_scans} fallback); "
+            f"a full scan checks {naive}",
+            file=sys.stderr,
+        )
     if document is None:
         print(f"version {args.version} is an empty database", file=sys.stderr)
         return 1
@@ -245,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_get.add_argument("version", type=int)
     p_get.add_argument("-o", "--output")
     p_get.add_argument("--indent", action="store_true")
+    p_get.add_argument(
+        "--probes",
+        action="store_true",
+        help="report timestamp-tree probe counts vs the full-scan baseline",
+    )
     p_get.add_argument("--keys")
     p_get.set_defaults(func=cmd_get)
 

@@ -39,6 +39,13 @@ from .tempquery import (
     last_change,
 )
 from .respec import checkpoint_archive, rearchive
+from .tstree import (
+    ProbeCount,
+    TimestampTreeNode,
+    build_timestamp_tree,
+    patch_timestamp_tree,
+    search_timestamp_tree,
+)
 from .versionset import VersionSet
 
 __all__ = [
@@ -70,9 +77,14 @@ __all__ = [
     "last_change",
     "Weave",
     "WeaveSegment",
+    "ProbeCount",
+    "TimestampTreeNode",
     "build_archive_subtree",
+    "build_timestamp_tree",
     "documents_equivalent",
     "nested_merge",
+    "patch_timestamp_tree",
+    "search_timestamp_tree",
     "rearchive",
     "checkpoint_archive",
     "normalize_document",

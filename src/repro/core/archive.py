@@ -2,17 +2,40 @@
 
 :class:`Archive` is the public facade over the whole pipeline of the
 paper's Fig. 6: ``add_version`` annotates keys and runs Nested Merge;
-``retrieve`` reconstructs any past version with a single scan;
-``history`` returns the temporal history of a keyed element; and
-``to_xml_string`` / ``from_xml_string`` round-trip the archive through
-the ``<T t="...">`` XML representation of Fig. 5 — "our archive can be
-easily represented as yet another XML document".
+``retrieve`` reconstructs any past version guided by the Sec. 7.1
+timestamp trees; ``history`` returns the temporal history of a keyed
+element; and ``to_xml_string`` / ``from_xml_string`` round-trip the
+archive through the ``<T t="...">`` XML representation of Fig. 5 — "our
+archive can be easily represented as yet another XML document".
+
+Read-path caches.  The archive carries a **mutation counter** that
+every ``add_version`` bumps; two caches key off it:
+
+* **timestamp trees** (Sec. 7.1) — one binary tree per internal node,
+  built lazily the first time a retrieval touches the node and *patched
+  in place* (leaf timestamps recomputed, unions refreshed only along
+  changed paths) when the counter moves, instead of being rebuilt;
+* **child token lists** — each node's children sorted by label token,
+  so ``history`` resolves a path step with one binary search instead of
+  a linear label scan.
+
+The same counter is what external indexes
+(:class:`~repro.indexes.keyindex.KeyIndex`,
+:class:`~repro.indexes.timestamp_tree.TimestampTreeIndex`) watch to
+refresh themselves instead of silently serving a stale tree.
+
+Retrieval shares frontier content copy-on-write style: the elements it
+returns reference the archive's stored content nodes directly (the
+merge never mutates stored content in place, so the shared subtrees are
+stable), and a deep copy happens only when a caller that intends to
+mutate asks for one with ``copy_content=True``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
 
 from ..keys.annotate import KeyLabel, KeyValue, annotate_keys, compute_key_value
 from ..keys.paths import Path, format_path, parse_path, value_at
@@ -25,6 +48,14 @@ from .compaction import lines_to_content, weave_content_at
 from .fingerprint import Fingerprinter
 from .merge import MergeOptions, MergeStats, nested_merge
 from .nodes import Alternative, ArchiveNode, Weave, WeaveSegment
+from .tstree import (
+    ProbeCount,
+    TimestampTreeNode,
+    build_timestamp_tree,
+    patch_timestamp_tree,
+    search_timestamp_tree,
+    tree_size,
+)
 from .versionset import VersionSet
 
 #: Tag of timestamp elements; the paper puts it in its own namespace.
@@ -98,6 +129,23 @@ class ElementHistory:
     changes: Optional[list[tuple[VersionSet, str]]] = None
 
 
+@dataclass
+class _CachedTree:
+    """One node's timestamp tree plus the state it was patched against."""
+
+    tree: Optional[TimestampTreeNode]
+    child_count: int
+    mutation: int
+
+
+@dataclass
+class _CachedTokens:
+    """One node's children label tokens (sorted) plus cache freshness."""
+
+    tokens: list[tuple]
+    mutation: int
+
+
 class Archive:
     """A merged, timestamped archive of document versions."""
 
@@ -107,21 +155,49 @@ class Archive:
         self.root = ArchiveNode(
             label=KeyLabel(tag=ROOT_TAG, key=()), timestamp=VersionSet()
         )
+        self._mutations = 0
+        self._trees: dict[int, _CachedTree] = {}
+        self._child_tokens: dict[int, _CachedTokens] = {}
+
+    # -- mutation tracking -------------------------------------------------
+
+    @property
+    def mutation_count(self) -> int:
+        """Bumped by every version merge; read-path caches (here and in
+        the external indexes) refresh themselves when it moves."""
+        return self._mutations
+
+    def note_mutation(self) -> None:
+        """Declare an out-of-band mutation of the archive tree.
+
+        ``add_version`` calls this itself; callers that reach into
+        ``archive.root`` and edit nodes directly must call it so the
+        timestamp-tree and token caches stop serving the old state.
+        """
+        self._mutations += 1
+
+    def _root_timestamp(self) -> VersionSet:
+        """The root timestamp, as a proper error instead of an assert
+        (asserts vanish under ``python -O``, turning an empty-archive
+        probe into an ``AttributeError``)."""
+        timestamp = self.root.timestamp
+        if timestamp is None:
+            raise ArchiveError("Archive root carries no timestamp")
+        return timestamp
 
     # -- versions ----------------------------------------------------------
 
     @property
     def last_version(self) -> int:
         """The highest archived version number (0 before any merge)."""
-        assert self.root.timestamp is not None
-        if not self.root.timestamp:
+        timestamp = self._root_timestamp()
+        if not timestamp:
             return 0
-        return self.root.timestamp.max_version()
+        return timestamp.max_version()
 
     @property
     def version_count(self) -> int:
-        assert self.root.timestamp is not None
-        return len(self.root.timestamp)
+        return len(self._root_timestamp())
 
     def add_version(self, document: Optional[Element], memo=None) -> MergeStats:
         """Archive the next version.
@@ -135,11 +211,12 @@ class Archive:
         keyed subtrees are then fingerprint-skipped instead of descended.
         """
         version = self.last_version + 1
-        assert self.root.timestamp is not None
-        self.root.timestamp.add(version)
+        root_timestamp = self._root_timestamp()
+        root_timestamp.add(version)
+        self.note_mutation()
         if document is None:
             # Terminate timestamps of the document roots.
-            inherited = self.root.timestamp
+            inherited = root_timestamp
             for child in self.root.children:
                 if child.timestamp is None:
                     child.timestamp = inherited.without(version)
@@ -168,28 +245,124 @@ class Archive:
 
         return IngestSession(self).add_all(documents)
 
-    # -- retrieval (Sec. 7.1 single-scan form) ---------------------------------
+    # -- timestamp trees (Sec. 7.1, archive-resident) -----------------------
 
-    def retrieve(self, version: int) -> Optional[Element]:
+    def timestamp_tree(
+        self, node: ArchiveNode, effective: VersionSet
+    ) -> Optional[TimestampTreeNode]:
+        """The (cached) timestamp tree over ``node``'s children.
+
+        ``effective`` is the node's own effective timestamp — what its
+        inheriting children resolve to.  Built on first use; when the
+        mutation counter has moved since, the existing tree is patched
+        in place (rebuilt only if the child list itself changed shape).
+        """
+        entry = self._trees.get(id(node))
+        if entry is not None and entry.mutation == self._mutations:
+            return entry.tree
+        if entry is None or entry.child_count != len(node.children):
+            tree = build_timestamp_tree(node.children, effective)
+            self._trees[id(node)] = _CachedTree(
+                tree=tree, child_count=len(node.children), mutation=self._mutations
+            )
+            return tree
+        patch_timestamp_tree(entry.tree, node.children, effective)
+        entry.mutation = self._mutations
+        return entry.tree
+
+    def relevant_children(
+        self,
+        node: ArchiveNode,
+        version: int,
+        effective: VersionSet,
+        probes: Optional[ProbeCount] = None,
+    ) -> list[int]:
+        """Tree-guided: indexes of ``node``'s children alive at
+        ``version``, probing the cached timestamp tree instead of every
+        child (with the paper's ``2k`` fallback-to-scan threshold)."""
+        return search_timestamp_tree(
+            self.timestamp_tree(node, effective), version, len(node.children), probes
+        )
+
+    def warm_timestamp_trees(self) -> int:
+        """Build (or patch) the timestamp tree of every internal node
+        now instead of lazily; returns the total tree-node count — the
+        structure's space cost."""
+        total = 0
+        root_timestamp = self._root_timestamp()
+        stack: list[tuple[ArchiveNode, VersionSet]] = [(self.root, root_timestamp)]
+        while stack:
+            node, inherited = stack.pop()
+            effective = node.effective_timestamp(inherited)
+            total += tree_size(self.timestamp_tree(node, effective))
+            for child in node.children:
+                stack.append((child, effective))
+        return total
+
+    # -- retrieval (Sec. 7.1) ---------------------------------------------------
+
+    def retrieve(
+        self,
+        version: int,
+        *,
+        guided: bool = True,
+        copy_content: bool = False,
+        probes: Optional[ProbeCount] = None,
+    ) -> Optional[Element]:
         """Reconstruct version ``version``; ``None`` for an empty version.
 
         Keyed siblings come back in key order — the archive deliberately
         "ignores the order among elements with keys" (Sec. 2).
+
+        ``guided`` selects the timestamp-tree fast path (the default);
+        ``guided=False`` is the reference scan over every child, kept
+        for equivalence testing and benchmarking.  ``probes`` collects
+        probe counts when supplied.  The result shares frontier content
+        with the archive unless ``copy_content=True`` (see the module
+        docstring).
         """
-        assert self.root.timestamp is not None
-        if version not in self.root.timestamp:
+        root_timestamp = self._root_timestamp()
+        if version not in root_timestamp:
             raise ArchiveError(
                 f"Version {version} is not in the archive "
-                f"(have {self.root.timestamp.to_text() or 'none'})"
+                f"(have {root_timestamp.to_text() or 'none'})"
             )
-        for child in self.root.children:
-            rebuilt = self._reconstruct(child, version, self.root.timestamp)
+        for child in self._select_children(
+            self.root, version, root_timestamp, guided, probes
+        ):
+            rebuilt = self._reconstruct(
+                child, version, root_timestamp, guided, copy_content, probes
+            )
             if rebuilt is not None:
                 return rebuilt
         return None
 
+    def _select_children(
+        self,
+        node: ArchiveNode,
+        version: int,
+        effective: VersionSet,
+        guided: bool,
+        probes: Optional[ProbeCount],
+    ) -> Iterator[ArchiveNode]:
+        if guided:
+            for index in self.relevant_children(node, version, effective, probes):
+                yield node.children[index]
+            return
+        for child in node.children:
+            if probes is not None:
+                probes.fallback_scans += 1
+            if version in child.effective_timestamp(effective):
+                yield child
+
     def _reconstruct(
-        self, node: ArchiveNode, version: int, inherited: VersionSet
+        self,
+        node: ArchiveNode,
+        version: int,
+        inherited: VersionSet,
+        guided: bool = False,
+        copy_content: bool = True,
+        probes: Optional[ProbeCount] = None,
     ) -> Optional[Element]:
         timestamp = node.effective_timestamp(inherited)
         if version not in timestamp:
@@ -202,17 +375,65 @@ class Archive:
                 element.append(content)
             return element
         if node.alternatives is not None:
-            for alternative in node.alternatives:
-                if alternative.timestamp is None or version in alternative.timestamp:
+            alternative = node.alternative_at(version)
+            if alternative is not None:
+                if copy_content:
                     for content in alternative.content:
                         element.append(content.copy())
-                    break
+                else:
+                    # Copy-on-write share: stored content is stable
+                    # (merges append alternatives, never edit them),
+                    # so the nodes are referenced, not deep-copied.
+                    element.children.extend(alternative.content)
             return element
-        for child in node.children:
-            rebuilt = self._reconstruct(child, version, timestamp)
+        for child in self._select_children(node, version, timestamp, guided, probes):
+            rebuilt = self._reconstruct(
+                child, version, timestamp, guided, copy_content, probes
+            )
             if rebuilt is not None:
                 element.append(rebuilt)
         return element
+
+    def scan_probe_count(self, version: int) -> int:
+        """Membership probes a scan-all-children retrieval makes — the
+        baseline the timestamp trees are measured against."""
+        root_timestamp = self._root_timestamp()
+        count = 0
+        stack: list[tuple[ArchiveNode, VersionSet]] = [(self.root, root_timestamp)]
+        while stack:
+            node, inherited = stack.pop()
+            timestamp = node.effective_timestamp(inherited)
+            count += len(node.children)
+            for child in node.children:
+                if version in child.effective_timestamp(timestamp):
+                    stack.append((child, timestamp))
+        return count
+
+    # -- keyed-path lookup -------------------------------------------------------
+
+    def find_child(
+        self, node: ArchiveNode, label: KeyLabel
+    ) -> Optional[ArchiveNode]:
+        """Child lookup by label via binary search over the cached,
+        token-sorted child list (the merge keeps children sorted by the
+        archive's sort token).  Falls back over equal-token runs so
+        colliding fingerprint tokens stay correct."""
+        entry = self._child_tokens.get(id(node))
+        if entry is None or entry.mutation != self._mutations:
+            token = self.options.merge_options().sort_token()
+            entry = _CachedTokens(
+                tokens=[token(child.label) for child in node.children],
+                mutation=self._mutations,
+            )
+            self._child_tokens[id(node)] = entry
+        target = self.options.merge_options().sort_token()(label)
+        position = bisect.bisect_left(entry.tokens, target)
+        while position < len(entry.tokens) and entry.tokens[position] == target:
+            child = node.children[position]
+            if child.label == label:
+                return child
+            position += 1
+        return None
 
     # -- temporal history (Sec. 7.2) ----------------------------------------------
 
@@ -227,13 +448,14 @@ class Archive:
         """
         steps = _parse_history_path(path)
         node = self.root
-        assert self.root.timestamp is not None
-        inherited = self.root.timestamp
+        inherited = self._root_timestamp()
         for tag, key_value in steps:
             label = KeyLabel(tag=tag, key=key_value)
-            child = node.find_child(label)
+            child = self.find_child(node, label)
             if child is None:
-                raise ArchiveError(f"No element {label} in the archive under {node.label}")
+                raise ArchiveError(
+                    f"No element {label} in the archive under {node.label}"
+                )
             inherited = child.effective_timestamp(inherited)
             node = child
         return ElementHistory(
@@ -261,30 +483,53 @@ class Archive:
                 changes.append((timestamp, rendered))
             return changes
         if node.weave is not None:
-            changes = []
-            previous: Optional[str] = None
-            run: Optional[VersionSet] = None
-            for version in existence:
-                rendered = "\n".join(node.weave.lines_at(version))
+            return Archive._weave_changes(node.weave, existence)
+        return None
+
+    @staticmethod
+    def _weave_changes(
+        weave: Weave, existence: VersionSet
+    ) -> list[tuple[VersionSet, str]]:
+        """Content runs of a woven frontier node.
+
+        The visible line set only changes where some segment's timestamp
+        has an interval boundary, so the weave is rendered once per
+        constant-content run instead of once per version — linear in
+        runs and segments rather than in the number of versions.
+        """
+        changes: list[tuple[VersionSet, str]] = []
+        if not existence:
+            return changes
+        boundaries: set[int] = set()
+        for segment in weave.segments:
+            for lo, hi in segment.timestamp.intervals():
+                boundaries.add(lo)
+                boundaries.add(hi + 1)
+        previous: Optional[str] = None
+        run: Optional[VersionSet] = None
+        for lo, hi in existence.intervals():
+            cuts = sorted(point for point in boundaries if lo < point <= hi)
+            starts = [lo] + cuts
+            ends = cuts + [hi + 1]
+            for start, stop in zip(starts, ends):
+                rendered = "\n".join(weave.lines_at(start))
                 if rendered == previous and run is not None:
-                    run.add(version)
+                    run.add_range(start, stop - 1)
                 else:
                     if run is not None and previous is not None:
                         changes.append((run, previous))
-                    run = VersionSet([version])
+                    run = VersionSet.from_intervals([(start, stop - 1)])
                     previous = rendered
-            if run is not None and previous is not None:
-                changes.append((run, previous))
-            return changes
-        return None
+        if run is not None and previous is not None:
+            changes.append((run, previous))
+        return changes
 
     # -- XML representation (Fig. 5) -------------------------------------------------
 
     def to_xml(self) -> Element:
         """The archive as an XML element tree (Fig. 5)."""
-        assert self.root.timestamp is not None
         wrapper = Element(T_TAG)
-        wrapper.set_attribute(T_ATTR, self.root.timestamp.to_text())
+        wrapper.set_attribute(T_ATTR, self._root_timestamp().to_text())
         wrapper.set_attribute(
             STORAGE_ATTR,
             STORAGE_WEAVE if self.options.compaction else STORAGE_ALTERNATIVES,
@@ -373,7 +618,6 @@ class Archive:
                     fingerprinter=archive.options.fingerprinter,
                     compaction=compaction,
                 )
-        assert archive.root.timestamp is not None
         timestamp_text = xml.get_attribute(T_ATTR) or ""
         archive.root.timestamp = VersionSet.parse(timestamp_text)
         root_element = xml.find(ROOT_TAG)

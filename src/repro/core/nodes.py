@@ -126,6 +126,18 @@ class ArchiveNode:
         """This node's timestamp, inheriting from the parent when absent."""
         return self.timestamp if self.timestamp is not None else inherited
 
+    def alternative_at(self, version: int) -> Optional[Alternative]:
+        """The stored alternative whose content is current at ``version``
+        (``None`` for weave nodes, internal nodes, or dead versions).
+        An untimestamped alternative inherits the node's timestamp, so
+        it answers for every version the node lives through."""
+        if self.alternatives is None:
+            return None
+        for alternative in self.alternatives:
+            if alternative.timestamp is None or version in alternative.timestamp:
+                return alternative
+        return None
+
     def exists_at(self, version: int, inherited: VersionSet) -> bool:
         return version in self.effective_timestamp(inherited)
 

@@ -79,18 +79,37 @@ def _step(node: ArchiveNode) -> str:
     return f"{label.tag}[{inner}]"
 
 
+def _relevant_union(
+    archive: Archive,
+    node: ArchiveNode,
+    effective: VersionSet,
+    from_version: int,
+    to_version: int,
+) -> list[int]:
+    """Sorted union of the child indexes alive at either version,
+    probed through the archive's timestamp trees so children relevant
+    to neither version are pruned without touching them."""
+    old_indexes = archive.relevant_children(node, from_version, effective)
+    new_indexes = archive.relevant_children(node, to_version, effective)
+    return sorted(set(old_indexes) | set(new_indexes))
+
+
 def archive_diff(archive: Archive, from_version: int, to_version: int) -> ChangeReport:
     """Element-level changes between two archived versions.
 
-    Walks the merged hierarchy once; an element is *added* when its
-    timestamp contains ``to_version`` but not ``from_version``,
-    *deleted* in the converse case, and *changed* when it is a frontier
-    node alive in both versions with different content.  Subtrees of
-    added/deleted elements are reported as one change (the element
-    itself), matching how a curator thinks about it.
+    Walks the merged hierarchy once, guided by the archive's timestamp
+    trees: at every internal node only the children alive at either
+    endpoint version are descended, so the walk's cost tracks the two
+    versions' footprint rather than the whole accreted archive.  An
+    element is *added* when its timestamp contains ``to_version`` but
+    not ``from_version``, *deleted* in the converse case, and *changed*
+    when it is a frontier node alive in both versions with different
+    content.  Subtrees of added/deleted elements are reported as one
+    change (the element itself), matching how a curator thinks about it.
     """
     root_timestamp = archive.root.timestamp
-    assert root_timestamp is not None
+    if root_timestamp is None:
+        raise ArchiveError("Archive root carries no timestamp")
     for version in (from_version, to_version):
         if version not in root_timestamp:
             raise ArchiveError(f"Version {version} is not in the archive")
@@ -134,20 +153,23 @@ def archive_diff(archive: Archive, from_version: int, to_version: int) -> Change
                     )
                 )
             return
-        for child in node.children:
-            walk(child, timestamp, here)
+        for index in _relevant_union(
+            archive, node, timestamp, from_version, to_version
+        ):
+            walk(node.children[index], timestamp, here)
 
-    for child in archive.root.children:
-        walk(child, root_timestamp, "")
+    for index in _relevant_union(
+        archive, archive.root, root_timestamp, from_version, to_version
+    ):
+        walk(archive.root.children[index], root_timestamp, "")
     return report
 
 
 def _frontier_content(node: ArchiveNode, version: int) -> Optional[str]:
-    assert node.alternatives is not None
-    for alternative in node.alternatives:
-        if alternative.timestamp is None or version in alternative.timestamp:
-            return "".join(canonical_form(c) for c in alternative.content)
-    return None
+    alternative = node.alternative_at(version)
+    if alternative is None:
+        return None
+    return "".join(canonical_form(c) for c in alternative.content)
 
 
 def keyed_diff(

@@ -11,6 +11,7 @@ from .timestamp_tree import (
     TimestampTreeIndex,
     TimestampTreeNode,
     build_timestamp_tree,
+    patch_timestamp_tree,
     search_timestamp_tree,
 )
 
@@ -24,5 +25,6 @@ __all__ = [
     "TimestampTreeIndex",
     "TimestampTreeNode",
     "build_timestamp_tree",
+    "patch_timestamp_tree",
     "search_timestamp_tree",
 ]

@@ -62,13 +62,17 @@ class KeyIndex:
         replaces) the archive as versions land; ``refresh`` re-anchors
         the index to the current state — optionally to a new ``archive``
         object — while callers keep holding the same index instance.
+        ``history`` also refreshes automatically whenever the archive's
+        mutation counter has moved since the last build, so an index
+        held across ``add_version`` calls never serves the old tree.
         """
         if archive is not None:
             self.archive = archive
-        assert self.archive.root.timestamp is not None
-        self._root_list = self._build(
-            self.archive.root, self.archive.root.timestamp
-        )
+        root_timestamp = self.archive.root.timestamp
+        if root_timestamp is None:
+            raise ArchiveError("Archive root carries no timestamp")
+        self._built_at = self.archive.mutation_count
+        self._root_list = self._build(self.archive.root, root_timestamp)
 
     def _build(self, node: ArchiveNode, inherited: VersionSet) -> SortedChildList:
         records: list[IndexRecord] = []
@@ -88,8 +92,15 @@ class KeyIndex:
         records.sort(key=lambda record: record.token)
         return SortedChildList(records=records)
 
+    def _ensure_fresh(self) -> None:
+        """Rebuild if the archive gained versions since the last build;
+        silently serving the old lists would return stale answers."""
+        if self._built_at != self.archive.mutation_count:
+            self.refresh()
+
     def record_count(self) -> int:
         """Total index records — the index's space cost."""
+        self._ensure_fresh()
         count = 0
         stack = [self._root_list]
         while stack:
@@ -107,6 +118,7 @@ class KeyIndex:
         counts binary-search probes — the ``O(l log d)`` the paper
         claims.  Path syntax matches :meth:`Archive.history`.
         """
+        self._ensure_fresh()
         steps = _parse_history_path(path)
         if not steps:
             raise ArchiveError(f"Empty history path {path!r}")

@@ -1,254 +1,91 @@
-"""Timestamp trees for version retrieval (Sec. 7.1).
+"""Timestamp trees for version retrieval (Sec. 7.1) — index facade.
 
-For each archive node with ``k`` children, a binary tree over the
-children's timestamps directs retrieval of version ``i`` to the ``α``
-children that actually contain ``i`` while probing at most
-``2α - 1 + 2α·log(k/α)`` tree nodes — or at most ``2k``, at which point
-the search falls back to scanning all leaves, exactly the threshold
-rule of the paper.
+The tree machinery itself (build, in-place patch, threshold search)
+lives in :mod:`repro.core.tstree` and the trees are owned by the
+archive, which builds them lazily and patches them as versions land.
+:class:`TimestampTreeIndex` is the experiment-facing facade: it pins an
+archive, reproduces :meth:`repro.core.archive.Archive.retrieve` with
+probe accounting, and reports the naive-scan baseline so the cost model
+of Sec. 7.1 can be verified experimentally.
+
+Because the trees are archive-resident and keyed to the archive's
+mutation counter, an index instance never serves a stale tree: versions
+merged after the index was built are visible to the very next
+``retrieve`` without an explicit ``refresh``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..core.archive import Archive
-from ..core.nodes import ArchiveNode
-from ..core.versionset import VersionSet
+from ..core.tstree import (  # re-exported: the public home of these names
+    ProbeCount,
+    TimestampTreeNode,
+    build_timestamp_tree,
+    patch_timestamp_tree,
+    search_timestamp_tree,
+    tree_size,
+)
 from ..xmltree.model import Element
 
-
-@dataclass
-class TimestampTreeNode:
-    """One node of a timestamp binary tree."""
-
-    timestamp: VersionSet
-    left: Optional["TimestampTreeNode"] = None
-    right: Optional["TimestampTreeNode"] = None
-    child_index: Optional[int] = None  # set on leaves: offset into children
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.child_index is not None
-
-
-@dataclass
-class ProbeCount:
-    """Probe accounting for the retrieval cost analysis."""
-
-    tree_probes: int = 0
-    fallback_scans: int = 0
-
-    def total(self) -> int:
-        return self.tree_probes + self.fallback_scans
-
-
-def build_timestamp_tree(
-    children: list[ArchiveNode], inherited: VersionSet
-) -> Optional[TimestampTreeNode]:
-    """Bottom-up pairing of leaves into a binary tree (Sec. 7.1)."""
-    if not children:
-        return None
-    level: list[TimestampTreeNode] = [
-        TimestampTreeNode(
-            timestamp=child.effective_timestamp(inherited).copy(), child_index=index
-        )
-        for index, child in enumerate(children)
-    ]
-    while len(level) > 1:
-        paired: list[TimestampTreeNode] = []
-        for i in range(0, len(level) - 1, 2):
-            left, right = level[i], level[i + 1]
-            paired.append(
-                TimestampTreeNode(
-                    timestamp=left.timestamp.union(right.timestamp),
-                    left=left,
-                    right=right,
-                )
-            )
-        if len(level) % 2:
-            paired.append(level[-1])
-        level = paired
-    return level[0]
-
-
-def search_timestamp_tree(
-    tree: Optional[TimestampTreeNode],
-    version: int,
-    child_count: int,
-    probes: Optional[ProbeCount] = None,
-) -> list[int]:
-    """Indexes of children relevant to ``version``.
-
-    Descends the tree counting probes; once ``2k`` tree nodes have been
-    probed the remaining work cannot beat a plain scan, so the search
-    falls back to scanning all leaves (the paper's threshold rule).
-    """
-    if tree is None:
-        return []
-    probes = probes if probes is not None else ProbeCount()
-    budget = 2 * child_count
-    result: list[int] = []
-    stack = [tree]
-    while stack:
-        node = stack.pop()
-        probes.tree_probes += 1
-        if probes.tree_probes > budget:
-            # Fall back: scan every leaf once.
-            result = _scan_leaves(tree, version, probes)
-            return sorted(result)
-        if version not in node.timestamp:
-            continue
-        if node.is_leaf:
-            assert node.child_index is not None
-            result.append(node.child_index)
-        else:
-            if node.right is not None:
-                stack.append(node.right)
-            if node.left is not None:
-                stack.append(node.left)
-    return sorted(result)
-
-
-def _scan_leaves(
-    tree: TimestampTreeNode, version: int, probes: ProbeCount
-) -> list[int]:
-    result: list[int] = []
-    stack = [tree]
-    while stack:
-        node = stack.pop()
-        if node.is_leaf:
-            probes.fallback_scans += 1
-            if version in node.timestamp:
-                assert node.child_index is not None
-                result.append(node.child_index)
-            continue
-        if node.right is not None:
-            stack.append(node.right)
-        if node.left is not None:
-            stack.append(node.left)
-    return result
+__all__ = [
+    "ProbeCount",
+    "TimestampTreeIndex",
+    "TimestampTreeNode",
+    "build_timestamp_tree",
+    "patch_timestamp_tree",
+    "search_timestamp_tree",
+    "tree_size",
+]
 
 
 class TimestampTreeIndex:
-    """Timestamp trees for every internal node of an archive.
+    """Probe-accounted retrieval over an archive's timestamp trees.
 
-    ``retrieve`` reproduces :meth:`repro.core.archive.Archive.retrieve`
-    but probes timestamp trees instead of checking every child, and
-    reports the probe counts so the cost model of Sec. 7.1 can be
-    verified experimentally.
+    ``retrieve`` returns ``(document, probes)`` where ``probes`` counts
+    the tree nodes examined — the quantity the paper bounds by
+    ``2α - 1 + 2α·log(k/α)``.  The trees are shared with the archive's
+    own retrieval fast path and stay current automatically.
     """
 
     def __init__(self, archive: Archive) -> None:
         self.archive = archive
-        self._trees: dict[int, Optional[TimestampTreeNode]] = {}
         self.refresh()
 
     def refresh(self, archive: Optional[Archive] = None) -> None:
-        """Rebuild the trees after the archive gained versions.
+        """Re-anchor to ``archive``.
 
-        Mirrors :meth:`repro.indexes.keyindex.KeyIndex.refresh`: batched
-        ingestion calls this as versions land so retrieval keeps probing
-        current timestamps — optionally re-anchoring to a new ``archive``
-        object (the persistent chunked store reloads chunks per batch).
+        Kept for compatibility with callers that re-point the index at
+        a reloaded archive object (the persistent chunked store does);
+        plain staleness needs no refresh — the archive's mutation
+        counter keeps the shared trees current, and the trees themselves
+        stay lazy so batched ingestion never pays to keep them warm.
         """
         if archive is not None:
             self.archive = archive
-        self._trees = {}
-        assert self.archive.root.timestamp is not None
-        self._build(self.archive.root, self.archive.root.timestamp)
-
-    def _build(self, node: ArchiveNode, inherited: VersionSet) -> None:
-        timestamp = node.effective_timestamp(inherited)
-        self._trees[id(node)] = build_timestamp_tree(node.children, timestamp)
-        for child in node.children:
-            self._build(child, timestamp)
 
     def tree_node_count(self) -> int:
-        """Total tree nodes — the index's space cost."""
-        count = 0
-        for tree in self._trees.values():
-            stack = [tree] if tree else []
-            while stack:
-                node = stack.pop()
-                count += 1
-                if node.left:
-                    stack.append(node.left)
-                if node.right:
-                    stack.append(node.right)
-        return count
+        """Total tree nodes — the index's space cost.  Warms every lazy
+        tree first so the count covers the whole archive."""
+        return self.archive.warm_timestamp_trees()
 
-    def retrieve(self, version: int) -> tuple[Optional[Element], ProbeCount]:
-        """Version reconstruction guided by the timestamp trees."""
-        assert self.archive.root.timestamp is not None
-        if version not in self.archive.root.timestamp:
-            raise ValueError(f"Version {version} not in the archive")
+    def retrieve(
+        self, version: int, *, copy_content: bool = False
+    ) -> tuple[Optional[Element], ProbeCount]:
+        """Version reconstruction guided by the timestamp trees.
+
+        Shares frontier content with the archive like
+        :meth:`Archive.retrieve`; pass ``copy_content=True`` before
+        mutating the returned document.
+        """
         probes = ProbeCount()
-        root_timestamp = self.archive.root.timestamp
-        for index in search_timestamp_tree(
-            self._trees[id(self.archive.root)],
-            version,
-            len(self.archive.root.children),
-            probes,
-        ):
-            child = self.archive.root.children[index]
-            element = self._reconstruct(child, version, root_timestamp, probes)
-            if element is not None:
-                return element, probes
-        return None, probes
-
-    def _reconstruct(
-        self,
-        node: ArchiveNode,
-        version: int,
-        inherited: VersionSet,
-        probes: ProbeCount,
-    ) -> Optional[Element]:
-        timestamp = node.effective_timestamp(inherited)
-        if version not in timestamp:
-            return None
-        element = Element(node.label.tag)
-        for name, value in node.attributes:
-            element.set_attribute(name, value)
-        if node.weave is not None:
-            from ..core.compaction import weave_content_at
-
-            for content in weave_content_at(node.weave, version):
-                element.append(content)
-            return element
-        if node.alternatives is not None:
-            for alternative in node.alternatives:
-                if alternative.timestamp is None or version in alternative.timestamp:
-                    for content in alternative.content:
-                        element.append(content.copy())
-                    break
-            return element
-        for index in search_timestamp_tree(
-            self._trees[id(node)], version, len(node.children), probes
-        ):
-            child = node.children[index]
-            rebuilt = self._reconstruct(child, version, timestamp, probes)
-            if rebuilt is not None:
-                element.append(rebuilt)
-        return element
+        document = self.archive.retrieve(
+            version, guided=True, copy_content=copy_content, probes=probes
+        )
+        return document, probes
 
     def naive_probe_count(self, version: int) -> int:
         """Probes a scan-all-children retrieval would make — the baseline
         the timestamp trees are compared against."""
-        assert self.archive.root.timestamp is not None
-        count = 0
-
-        def walk(node: ArchiveNode, inherited: VersionSet) -> None:
-            nonlocal count
-            timestamp = node.effective_timestamp(inherited)
-            count += len(node.children)
-            for child in node.children:
-                if version in child.effective_timestamp(timestamp):
-                    walk(child, timestamp)
-
-        count += len(self.archive.root.children)
-        for child in self.archive.root.children:
-            if version in child.effective_timestamp(self.archive.root.timestamp):
-                walk(child, self.archive.root.timestamp)
-        return count
+        return self.archive.scan_probe_count(version)

@@ -287,6 +287,9 @@ class PersistentIngestor:
         self.chunked = ChunkedArchiver(directory, spec, chunk_count, options)
         self._key_indexes: dict[int, KeyIndex] = {}
         self._timestamp_indexes: dict[int, TimestampTreeIndex] = {}
+        #: Chunk adoptions (XML parses) retrieval skipped because the
+        #: chunk's presence timestamp excluded the version (cumulative).
+        self.chunks_pruned = 0
 
     @property
     def last_version(self) -> int:
@@ -318,9 +321,21 @@ class PersistentIngestor:
         self._index_chunk(index, self.chunked._load_chunk(index))
         return True
 
-    def retrieve(self, version: int) -> tuple[Optional[Element], ProbeCount]:
+    def retrieve(
+        self, version: int, *, copy_content: bool = False
+    ) -> tuple[Optional[Element], ProbeCount]:
         """Concatenate per-chunk reconstructions, guided by the
-        timestamp trees; returns the probe accounting alongside."""
+        timestamp trees; returns the probe accounting alongside.
+
+        Unadopted chunks whose presence timestamps exclude ``version``
+        are pruned before their XML is ever parsed — the chunk-level
+        analogue of the timestamp trees' subtree pruning.
+
+        The result shares frontier content with the cached chunk
+        archives (which later batches flush back to disk); callers that
+        intend to mutate the returned document must pass
+        ``copy_content=True`` or they corrupt the cache.
+        """
         if not 1 <= version <= self.last_version:
             raise ChunkedArchiverError(
                 f"Version {version} not archived (have 1..{self.last_version})"
@@ -329,11 +344,17 @@ class PersistentIngestor:
 
         def parts():
             for index in range(self.chunked.chunk_count):
+                if index not in self._timestamp_indexes:
+                    presence = self.chunked.chunk_presence(index)
+                    if presence is not None and version not in presence:
+                        self.chunks_pruned += 1
+                        continue
                 if not self._adopt_chunk(index):
                     continue
-                part, part_probes = self._timestamp_indexes[index].retrieve(version)
-                probes.tree_probes += part_probes.tree_probes
-                probes.fallback_scans += part_probes.fallback_scans
+                part, part_probes = self._timestamp_indexes[index].retrieve(
+                    version, copy_content=copy_content
+                )
+                probes.merge(part_probes)
                 yield part
 
         return concatenate_parts(parts()), probes

@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Optional
 from ..core.archive import Archive, ArchiveOptions
 from ..core.ingest import IngestSession
 from ..core.merge import MergeStats
+from ..core.versionset import VersionSet
 from ..keys.annotate import annotate_keys, compute_key_value
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
@@ -54,6 +55,18 @@ def concatenate_parts(parts) -> Optional[Element]:
         for child in part.children:
             result.append(child)
     return result
+
+
+def _chunk_presence_of(archive: Archive) -> VersionSet:
+    """Union of the top-level record roots' effective timestamps — the
+    versions at which the chunk contributes anything to a retrieval."""
+    root_timestamp = archive.root.timestamp
+    if root_timestamp is None:
+        return VersionSet()
+    presence = VersionSet()
+    for child in archive.root.children:
+        presence = presence.union(child.effective_timestamp(root_timestamp))
+    return presence
 
 
 def route_to_owning_chunk(chunk_count: int, attempt, path: str):
@@ -100,6 +113,9 @@ class ChunkedArchiver:
         self.spec = spec
         self.chunk_count = chunk_count
         self.options = options or ArchiveOptions()
+        #: Chunk loads retrieval skipped because the chunk's presence
+        #: timestamp excluded the requested version (cumulative).
+        self.chunks_pruned = 0
         os.makedirs(directory, exist_ok=True)
         self._version_count = self._load_version_count()
 
@@ -107,6 +123,9 @@ class ChunkedArchiver:
 
     def _chunk_path(self, index: int) -> str:
         return os.path.join(self.directory, f"chunk-{index:04d}.xml")
+
+    def _presence_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"chunk-{index:04d}.presence")
 
     def _meta_path(self) -> str:
         return os.path.join(self.directory, "versions.txt")
@@ -135,8 +154,31 @@ class ChunkedArchiver:
             return Archive.from_xml_string(handle.read(), self.spec, self.options)
 
     def _store_chunk(self, index: int, archive: Archive) -> None:
+        # Presence first: if a crash lands between the two writes, a
+        # superset-stale sidecar merely costs an unnecessary parse,
+        # whereas a subset-stale one would silently prune live versions.
+        with open(self._presence_path(index), "w", encoding="utf-8") as handle:
+            handle.write(_chunk_presence_of(archive).to_text())
         with open(self._chunk_path(index), "w", encoding="utf-8") as handle:
             handle.write(archive.to_xml_string())
+
+    def chunk_presence(self, index: int) -> Optional[VersionSet]:
+        """Versions at which the chunk actually stores records.
+
+        Read from the tiny ``.presence`` sidecar written next to the
+        chunk file, so retrieval can prune whole chunks whose timestamps
+        exclude the target version *before* parsing their XML.  Every
+        chunk shares the global version numbering via locally-empty
+        versions, so the chunk archive's own root timestamp never
+        excludes anything — the presence set is the union of the
+        top-level record roots' effective timestamps instead.  ``None``
+        when unknown (sidecar missing: chunk written by an older tool).
+        """
+        try:
+            with open(self._presence_path(index), "r", encoding="utf-8") as handle:
+                return VersionSet.parse(handle.read())
+        except FileNotFoundError:
+            return None
 
     # -- partitioning --------------------------------------------------------------
 
@@ -238,16 +280,29 @@ class ChunkedArchiver:
         return total
 
     def retrieve(self, version: int) -> Optional[Element]:
-        """Concatenate the per-chunk reconstructions."""
+        """Concatenate the per-chunk reconstructions.
+
+        Chunks whose presence timestamps exclude ``version`` are pruned
+        before their XML is parsed (counted in ``chunks_pruned``); the
+        chunks that do load reconstruct tree-guided via
+        :meth:`Archive.retrieve`.
+        """
         if not 1 <= version <= self._version_count:
             raise ChunkedArchiverError(
                 f"Version {version} not archived (have 1..{self._version_count})"
             )
-        return concatenate_parts(
-            self._load_chunk(index).retrieve(version)
-            for index in range(self.chunk_count)
-            if os.path.exists(self._chunk_path(index))
-        )
+
+        def parts():
+            for index in range(self.chunk_count):
+                if not os.path.exists(self._chunk_path(index)):
+                    continue
+                presence = self.chunk_presence(index)
+                if presence is not None and version not in presence:
+                    self.chunks_pruned += 1
+                    continue
+                yield self._load_chunk(index).retrieve(version)
+
+        return concatenate_parts(parts())
 
     def history(self, path: str):
         """Route a history query to the owning chunk.

@@ -306,3 +306,109 @@ class TestVersionSetProperties:
     @settings(max_examples=80, deadline=None)
     def test_contains_matches_sets(self, values, probe):
         assert (probe in VersionSet(values)) == (probe in values)
+
+
+# Interval-shaped inputs: wider spreads and overlapping runs, the shapes
+# the linear merge paths (bulk construction, union, difference) see.
+_interval_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=8),
+    ).map(lambda pair: (pair[0], pair[0] + pair[1])),
+    max_size=30,
+)
+
+
+def _members(pairs) -> set:
+    return {v for lo, hi in pairs for v in range(lo, hi + 1)}
+
+
+class TestIntervalAlgebraProperties:
+    """The linear-merge algebra against Python set semantics, driven by
+    interval lists (unsorted, overlapping, adjacent) rather than small
+    member sets — the adversarial shapes for the single-pass merges."""
+
+    @given(_interval_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_from_intervals_matches_sets(self, pairs):
+        vs = VersionSet.from_intervals(pairs)
+        assert set(vs) == _members(pairs)
+        assert len(vs) == len(_members(pairs))
+        # Canonical invariant: sorted, disjoint, non-adjacent.
+        intervals = vs.intervals()
+        for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+            assert hi1 + 1 < lo2
+
+    @given(_interval_lists, _interval_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_algebra_matches_sets(self, a_pairs, b_pairs):
+        a, b = _members(a_pairs), _members(b_pairs)
+        A = VersionSet.from_intervals(a_pairs)
+        B = VersionSet.from_intervals(b_pairs)
+        assert set(A.union(B)) == a | b
+        assert set(A.intersection(B)) == a & b
+        assert set(A.difference(B)) == a - b
+        assert A.issuperset(B) == (a >= b)
+
+    @given(_interval_lists, _interval_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_algebra_results_are_canonical(self, a_pairs, b_pairs):
+        A = VersionSet.from_intervals(a_pairs)
+        B = VersionSet.from_intervals(b_pairs)
+        for result in (A.union(B), A.intersection(B), A.difference(B)):
+            assert VersionSet.parse(result.to_text()) == result
+            intervals = result.intervals()
+            for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+                assert hi1 + 1 < lo2
+
+    @given(_interval_lists, _interval_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_algebra_does_not_mutate_operands(self, a_pairs, b_pairs):
+        A = VersionSet.from_intervals(a_pairs)
+        B = VersionSet.from_intervals(b_pairs)
+        before_a, before_b = A.intervals(), B.intervals()
+        A.union(B), A.intersection(B), A.difference(B), A.issuperset(B)
+        assert A.intervals() == before_a
+        assert B.intervals() == before_b
+
+
+_mutation_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(min_value=1, max_value=80)),
+        st.tuples(st.just("discard"), st.integers(min_value=1, max_value=80)),
+        st.tuples(
+            st.just("add_range"),
+            st.integers(min_value=1, max_value=80),
+            st.integers(min_value=0, max_value=10),
+        ),
+    ),
+    max_size=30,
+)
+
+
+class TestMutationProperties:
+    """Interleaved mutations against a model set, probing membership and
+    length after every step — this is what exercises the cached length
+    and the last-probe cursor across invalidations."""
+
+    @given(_interval_lists, _mutation_ops, st.integers(min_value=1, max_value=90))
+    @settings(max_examples=80, deadline=None)
+    def test_mutations_match_model(self, pairs, ops, probe):
+        vs = VersionSet.from_intervals(pairs)
+        model = _members(pairs)
+        for op in ops:
+            if op[0] == "add":
+                vs.add(op[1])
+                model.add(op[1])
+            elif op[0] == "discard":
+                vs.discard(op[1])
+                model.discard(op[1])
+            else:
+                _, start, width = op
+                vs.add_range(start, start + width)
+                model.update(range(start, start + width + 1))
+            assert (probe in vs) == (probe in model)
+            assert (probe + 1 in vs) == (probe + 1 in model)
+            assert len(vs) == len(model)
+        assert set(vs) == model
+        assert VersionSet.parse(vs.to_text()) == vs
