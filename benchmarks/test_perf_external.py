@@ -27,7 +27,7 @@ def test_external_add_version(benchmark):
             archiver = ExternalArchiver(directory, spec, memory_budget=60, fan_in=4)
             for version in versions:
                 archiver.add_version(version.copy())
-            return archiver.stats.pages_written()
+            return archiver.io_stats.pages_written()
 
     pages = benchmark.pedantic(run, rounds=1, iterations=1)
     assert pages > 0
@@ -45,7 +45,7 @@ def test_external_equivalence_and_io(once, results_dir):
                 archiver.add_version(version.copy())
                 in_memory.add_version(version)
             same = archiver.to_archive().to_xml_string() == in_memory.to_xml_string()
-            return same, archiver.stats, archiver.archive_bytes()
+            return same, archiver.io_stats, archiver.archive_bytes()
 
     same, stats, archive_bytes = once(run)
     text = (

@@ -44,9 +44,9 @@ def main() -> None:
             )
 
         print("\n=== I/O accounting (Sec. 6 analysis) ===")
-        print(f"pages read:    {external.stats.pages_read()}")
-        print(f"pages written: {external.stats.pages_written()}")
-        print(f"page size:     {external.stats.page_size} bytes")
+        print(f"pages read:    {external.io_stats.pages_read()}")
+        print(f"pages written: {external.io_stats.pages_written()}")
+        print(f"page size:     {external.io_stats.page_size} bytes")
 
         print("\n=== verification ===")
         identical = (

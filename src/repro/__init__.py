@@ -33,6 +33,7 @@ from .core import (
     normalize_document,
 )
 from .keys import Key, KeySpec, annotate_keys, key, parse_key_spec, satisfies
+from .storage import StorageBackend, create_archive, open_archive
 from .xmltree import Element, Text, parse_document, to_pretty_string, to_string
 
 __version__ = "1.0.0"
@@ -47,8 +48,11 @@ __all__ = [
     "IngestSession",
     "Key",
     "KeySpec",
+    "StorageBackend",
     "Text",
     "VersionSet",
+    "create_archive",
+    "open_archive",
     "annotate_keys",
     "documents_equivalent",
     "key",

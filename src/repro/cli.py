@@ -3,6 +3,7 @@
 A downstream curator's workflow over plain files::
 
     xarch init  archive.xml --keys keys.txt        # empty archive
+    xarch init  store/ --keys keys.txt --backend chunked   # key-hash chunks
     xarch add   archive.xml version1.xml           # merge a version
     xarch ingest archive.xml snapshots/ --keys keys.txt   # batch a directory
     xarch get   archive.xml 3 -o v3.xml            # retrieve version 3
@@ -11,10 +12,15 @@ A downstream curator's workflow over plain files::
     xarch stats archive.xml                        # size/shape counters
     xarch mine  v1.xml v2.xml -o keys.txt          # infer a key spec
 
-The archive file is the ``<T>``-tagged XML of the paper's Fig. 5; the
-keys file uses the textual syntax of the paper's Appendix B.  The key
-spec is stored alongside the archive (``<archive>.keys``) by ``init``
-so later commands need no ``--keys`` flag.
+Every subcommand dispatches through
+:func:`repro.storage.open_archive`, so the same commands work
+identically on all storage backends — the whole-file archive (the
+``<T>``-tagged XML of the paper's Fig. 5), the key-hash chunked store
+(Sec. 5) and the external event-stream archive (Sec. 6).  The backend
+is chosen at ``init``/first-``ingest`` time and auto-detected from the
+archive's manifest afterwards.  The keys file uses the textual syntax
+of the paper's Appendix B and is stored alongside the archive by
+``init`` so later commands need no ``--keys`` flag.
 """
 
 from __future__ import annotations
@@ -23,69 +29,82 @@ import argparse
 import os
 import sys
 
-from .core.archive import Archive, ArchiveOptions
-from .core.ingest import IngestSession
-from .core.tempquery import archive_diff
+from .core.archive import ArchiveError, ArchiveOptions
 from .core.tstree import ProbeCount
 from .keys.keyparser import parse_key_spec
 from .keys.mining import mine_keys
 from .keys.spec import KeySpec
+from .storage.backend import (
+    BACKEND_KINDS,
+    StorageBackend,
+    create_archive,
+    keys_location,
+    open_archive,
+)
 from .xmltree.parser import parse_file
 from .xmltree.serializer import to_pretty_string
 
 
-def _keys_path(archive_path: str) -> str:
-    return archive_path + ".keys"
-
-
-def _load_spec(archive_path: str, keys_file: str | None) -> KeySpec:
-    path = keys_file or _keys_path(archive_path)
+def _read_keys_text(archive_path: str, keys_file: str | None) -> str:
+    path = keys_file or keys_location(archive_path)
     if not os.path.exists(path):
         raise SystemExit(
             f"xarch: key specification {path!r} not found "
             f"(run 'xarch init' or pass --keys)"
         )
     with open(path, "r", encoding="utf-8") as handle:
-        return parse_key_spec(handle.read())
+        return handle.read()
 
 
-def _load_archive(args: argparse.Namespace) -> tuple[Archive, KeySpec]:
+def _load_spec(archive_path: str, keys_file: str | None) -> KeySpec:
+    return parse_key_spec(_read_keys_text(archive_path, keys_file))
+
+
+def _open(args: argparse.Namespace) -> StorageBackend:
     spec = _load_spec(args.archive, getattr(args, "keys", None))
     options = ArchiveOptions(compaction=getattr(args, "compaction", False))
-    with open(args.archive, "r", encoding="utf-8") as handle:
-        return Archive.from_xml_string(handle.read(), spec, options), spec
-
-
-def _store_archive(args: argparse.Namespace, archive: Archive) -> None:
-    with open(args.archive, "w", encoding="utf-8") as handle:
-        handle.write(archive.to_xml_string())
+    return open_archive(args.archive, spec, options=options)
 
 
 def cmd_init(args: argparse.Namespace) -> int:
     with open(args.keys, "r", encoding="utf-8") as handle:
         keys_text = handle.read()
-    parse_key_spec(keys_text)  # validate before writing anything
-    if os.path.exists(args.archive) and not args.force:
-        raise SystemExit(f"xarch: {args.archive!r} exists (use --force)")
-    archive = Archive(parse_key_spec(keys_text))
-    _store_archive(args, archive)
-    with open(_keys_path(args.archive), "w", encoding="utf-8") as handle:
-        handle.write(keys_text)
-    print(f"initialized empty archive {args.archive}")
+    try:
+        backend = create_archive(
+            args.archive,
+            keys_text,
+            kind=args.backend,
+            chunk_count=args.chunks,
+            force=args.force,
+        )
+    except ArchiveError as error:
+        raise SystemExit(f"xarch: {error}")
+    backend.close()
+    print(f"initialized empty {args.backend} archive {args.archive}")
     return 0
 
 
 def cmd_add(args: argparse.Namespace) -> int:
-    archive, _ = _load_archive(args)
-    for version_path in args.versions:
-        document = parse_file(version_path)
-        stats = archive.add_version(document)
-        print(
-            f"merged {version_path} as version {archive.last_version} "
-            f"(matched {stats.nodes_matched}, inserted {stats.nodes_inserted}, "
-            f"content changes {stats.frontier_content_changes})"
-        )
-    _store_archive(args, archive)
+    backend = _open(args)
+    base = backend.last_version
+    per_version: dict[int, object] = {}
+    backend.ingest_batch(
+        (parse_file(path) for path in args.versions),
+        on_version=lambda number, stats: per_version.__setitem__(number, stats),
+    )
+    for offset, version_path in enumerate(args.versions, start=1):
+        number = base + offset
+        stats = per_version.get(number)
+        if stats is not None:
+            print(
+                f"merged {version_path} as version {number} "
+                f"(matched {stats.nodes_matched}, "
+                f"inserted {stats.nodes_inserted}, "
+                f"content changes {stats.frontier_content_changes})"
+            )
+        else:
+            print(f"merged {version_path} as version {number}")
+    backend.close()
     return 0
 
 
@@ -112,7 +131,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     """Batch-merge a directory (or list) of version files end-to-end."""
     files = _collect_version_files(args.sources)
     if os.path.exists(args.archive):
-        archive, _ = _load_archive(args)
+        backend = _open(args)
     else:
         # End-to-end bootstrap: create the archive like ``init`` would.
         if not args.keys:
@@ -121,41 +140,59 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             )
         with open(args.keys, "r", encoding="utf-8") as handle:
             keys_text = handle.read()
-        spec = parse_key_spec(keys_text)
-        archive = Archive(spec, ArchiveOptions(compaction=args.compaction))
-        with open(_keys_path(args.archive), "w", encoding="utf-8") as handle:
-            handle.write(keys_text)
-    session = IngestSession(archive)
-    for version_path in files:
-        stats = session.add(parse_file(version_path))
-        print(
-            f"merged {version_path} as version {archive.last_version} "
-            f"(visited {stats.nodes_visited()}, skipped {stats.subtrees_skipped} "
-            f"subtrees / {stats.nodes_skipped} nodes)"
+        backend = create_archive(
+            args.archive,
+            keys_text,
+            kind=args.backend,
+            chunk_count=args.chunks,
+            options=ArchiveOptions(compaction=args.compaction),
         )
-    _store_archive(args, archive)
-    total = session.stats
+    base = backend.last_version
+    per_version: dict[int, object] = {}
+    total = backend.ingest_batch(
+        (parse_file(path) for path in files),
+        on_version=lambda number, stats: per_version.__setitem__(number, stats),
+    )
+    for offset, version_path in enumerate(files, start=1):
+        number = base + offset
+        stats = per_version.get(number)
+        if stats is not None:
+            print(
+                f"merged {version_path} as version {number} "
+                f"(visited {stats.nodes_visited()}, "
+                f"skipped {stats.subtrees_skipped} subtrees "
+                f"/ {stats.nodes_skipped} nodes)"
+            )
+        else:
+            print(f"merged {version_path} as version {number}")
     print(
         f"ingested {total.versions} versions: {total.nodes_visited()} node visits, "
         f"{total.nodes_inserted} inserted, {total.subtrees_skipped} subtrees "
         f"skipped ({total.nodes_skipped} nodes), "
         f"{total.frontier_skips} frontier digest hits"
     )
+    backend.close()
     return 0
 
 
 def cmd_get(args: argparse.Namespace) -> int:
-    archive, _ = _load_archive(args)
-    probes = ProbeCount() if args.probes else None
-    document = archive.retrieve(args.version, probes=probes)
-    if probes is not None:
-        naive = archive.scan_probe_count(args.version)
-        print(
-            f"probed {probes.total()} timestamp-tree nodes "
-            f"({probes.tree_probes} tree, {probes.fallback_scans} fallback); "
-            f"a full scan checks {naive}",
-            file=sys.stderr,
-        )
+    backend = _open(args)
+    probes = ProbeCount() if args.probes and backend.supports_probes else None
+    document = backend.retrieve(args.version, probes=probes)
+    if args.probes:
+        if probes is None:
+            print(
+                f"the {backend.kind} backend does not track retrieval probes",
+                file=sys.stderr,
+            )
+        else:
+            naive = backend.scan_probe_count(args.version)
+            print(
+                f"probed {probes.total()} timestamp-tree nodes "
+                f"({probes.tree_probes} tree, {probes.fallback_scans} fallback); "
+                f"a full scan checks {naive}",
+                file=sys.stderr,
+            )
     if document is None:
         print(f"version {args.version} is an empty database", file=sys.stderr)
         return 1
@@ -170,8 +207,8 @@ def cmd_get(args: argparse.Namespace) -> int:
 
 
 def cmd_log(args: argparse.Namespace) -> int:
-    archive, _ = _load_archive(args)
-    history = archive.history(args.path)
+    backend = _open(args)
+    history = backend.history(args.path)
     print(f"{args.path}")
     print(f"  exists at versions: {history.existence.to_text()}")
     if history.changes:
@@ -182,15 +219,16 @@ def cmd_log(args: argparse.Namespace) -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    archive, _ = _load_archive(args)
-    report = archive_diff(archive, args.from_version, args.to_version)
+    backend = _open(args)
+    report = backend.diff(args.from_version, args.to_version)
     print(report)
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    archive, _ = _load_archive(args)
-    stats = archive.stats()
+    backend = _open(args)
+    stats = backend.stats()
+    print(f"backend:            {backend.kind}")
     print(f"versions:           {stats.versions}")
     print(f"archive nodes:      {stats.nodes}")
     print(f"stored timestamps:  {stats.stored_timestamps}")
@@ -213,6 +251,22 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_KINDS,
+        default="file",
+        help="storage backend for a newly created archive "
+        "(existing archives auto-detect from their manifest)",
+    )
+    parser.add_argument(
+        "--chunks",
+        type=int,
+        default=8,
+        help="chunk count for the chunked backend",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="xarch",
@@ -224,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_init.add_argument("archive")
     p_init.add_argument("--keys", required=True, help="key specification file")
     p_init.add_argument("--force", action="store_true")
+    _add_backend_options(p_init)
     p_init.set_defaults(func=cmd_init)
 
     p_add = sub.add_parser("add", help="merge version file(s) into the archive")
@@ -248,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="store frontier content as SCCS weaves (further compaction)",
     )
+    _add_backend_options(p_ingest)
     p_ingest.set_defaults(func=cmd_ingest)
 
     p_get = sub.add_parser("get", help="retrieve a past version")

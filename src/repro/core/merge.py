@@ -22,7 +22,7 @@ delta instead of the archive size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..keys.annotate import AnnotatedDocument, KeyLabel

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..keys.annotate import annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.canonical import canonical_form
 from ..xmltree.model import Element
@@ -42,7 +41,6 @@ class Change:
         if self.kind == "changed":
             return f"changed {self.path}: {self.old_content!r} -> {self.new_content!r}"
         return f"{self.kind} {self.path}"
-
 
 @dataclass
 class ChangeReport:
@@ -70,14 +68,12 @@ class ChangeReport:
             return header + " none"
         return "\n".join([header] + [f"  {change}" for change in self.changes])
 
-
 def _step(node: ArchiveNode) -> str:
     label = node.label
     if not label.key:
         return label.tag
     inner = ", ".join(f"{path}={value}" for path, value in label.key)
     return f"{label.tag}[{inner}]"
-
 
 def _relevant_union(
     archive: Archive,
@@ -92,7 +88,6 @@ def _relevant_union(
     old_indexes = archive.relevant_children(node, from_version, effective)
     new_indexes = archive.relevant_children(node, to_version, effective)
     return sorted(set(old_indexes) | set(new_indexes))
-
 
 def archive_diff(archive: Archive, from_version: int, to_version: int) -> ChangeReport:
     """Element-level changes between two archived versions.
@@ -164,13 +159,11 @@ def archive_diff(archive: Archive, from_version: int, to_version: int) -> Change
         walk(archive.root.children[index], root_timestamp, "")
     return report
 
-
 def _frontier_content(node: ArchiveNode, version: int) -> Optional[str]:
     alternative = node.alternative_at(version)
     if alternative is None:
         return None
     return "".join(canonical_form(c) for c in alternative.content)
-
 
 def keyed_diff(
     old: Element, new: Element, spec: KeySpec
@@ -189,11 +182,9 @@ def keyed_diff(
     report.to_version = 2
     return report
 
-
 def first_appearance(archive: Archive, path: str) -> int:
     """The version in which the element at ``path`` first existed."""
     return archive.history(path).existence.min_version()
-
 
 def last_change(archive: Archive, path: str) -> int:
     """The version in which the element's content last changed.

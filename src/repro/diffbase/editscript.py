@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from .myers import OpCode, diff_lines
+from .myers import diff_lines
 
 
 @dataclass(frozen=True)

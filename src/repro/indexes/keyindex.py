@@ -14,7 +14,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.archive import Archive, ArchiveError, _parse_history_path
+from ..core.archive import Archive, ArchiveError, ElementHistory, _parse_history_path
 from ..core.nodes import ArchiveNode
 from ..core.versionset import VersionSet
 from ..keys.annotate import KeyLabel
@@ -134,3 +134,15 @@ class KeyIndex:
             current = record.child_list
         assert record is not None
         return record.timestamp.copy(), comparisons[0]
+
+    def element_history(self, path: str) -> ElementHistory:
+        """Full :class:`ElementHistory` of the element at a keyed path.
+
+        The index's ``O(l log d)`` binary searches settle membership
+        (raising when the element is not in this archive — partitioned
+        backends use that to reject non-owning parts cheaply); the
+        pinned archive then renders the ``changes`` content runs, which
+        the fixed-size index records do not store.
+        """
+        self.history(path)
+        return self.archive.history(path)

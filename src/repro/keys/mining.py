@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import combinations
 
-from ..xmltree.model import Attribute, Element
+from ..xmltree.model import Element
 from .paths import Path, navigate, value_at
 from .spec import Key, KeySpec
 

@@ -25,7 +25,7 @@ paper draws in Appendix A.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..xmltree.model import Element, Text

@@ -1,12 +1,32 @@
-"""External-memory archiving (Sec. 6).
+"""Persistent archive storage: one protocol, three backends.
 
-Event-stream files with I/O accounting, bounded-memory sorted runs with
-k-way merging, the one-pass stream merge, and the
-:class:`ExternalArchiver` facade tying the three phases together.
+:class:`StorageBackend` (``backend.py``) is the contract every
+persistence path implements — the whole-file :class:`FileBackend`, the
+key-hash :class:`ChunkedArchiver` (Sec. 5) and the event-stream
+:class:`ExternalArchiver` (Sec. 6) — behind a self-describing manifest
+(:func:`open_archive` auto-detects the backend) and the write-ahead
+commit log of ``wal.py`` (crash-safe atomic batch publication).  The
+external-memory machinery keeps its own modules: event-stream files
+with I/O accounting, bounded-memory sorted runs with k-way merging and
+the one-pass stream merge.
 """
 
 from .archiver import ExternalArchiver, PersistentIngestor, archive_to_stream
-from .chunked import ChunkedArchiver, ChunkedArchiverError
+from .backend import (
+    BACKEND_KINDS,
+    FileBackend,
+    Manifest,
+    PartitionedBackend,
+    StorageBackend,
+    create_archive,
+    detect_backend_kind,
+    key_spec_fingerprint,
+    keys_location,
+    manifest_location,
+    open_archive,
+    read_manifest,
+)
+from .chunked import ChunkedArchiver, ChunkedArchiverError, restore_key_order
 from .events import (
     DEFAULT_PAGE_SIZE,
     EventWriter,
@@ -21,26 +41,44 @@ from .events import (
 )
 from .extmerge import StreamMergeError, merge_archive_stream
 from .extsort import merge_event_streams, sort_version, write_sorted_runs
+from .wal import Commit, WalError, WriteAheadLog, atomic_write_text
 
 __all__ = [
+    "BACKEND_KINDS",
     "DEFAULT_PAGE_SIZE",
     "ChunkedArchiver",
     "ChunkedArchiverError",
+    "Commit",
     "EventWriter",
     "ExitEvent",
     "ExternalArchiver",
+    "FileBackend",
     "FrontierEvent",
     "IOStats",
+    "Manifest",
     "NodeEvent",
+    "PartitionedBackend",
     "PeekableEvents",
     "PersistentIngestor",
+    "StorageBackend",
     "StreamMergeError",
+    "WalError",
+    "WriteAheadLog",
     "archive_to_stream",
+    "atomic_write_text",
+    "create_archive",
     "decode_event",
+    "detect_backend_kind",
     "encode_event",
+    "key_spec_fingerprint",
+    "keys_location",
+    "manifest_location",
     "merge_archive_stream",
     "merge_event_streams",
+    "open_archive",
     "read_events",
+    "read_manifest",
+    "restore_key_order",
     "sort_version",
     "write_sorted_runs",
 ]

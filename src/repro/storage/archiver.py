@@ -10,28 +10,45 @@ stream on disk.  ``add_version`` runs the paper's three phases:
    pass (Sec. 6.3).
 
 The archive itself is never materialized in memory; ``retrieve`` streams
-the archive and keeps only the requested version.  I/O is accounted in
-pages so the analysis of Sec. 6 can be checked experimentally.
+the archive and keeps only the requested version, and ``history`` and
+``stats`` are likewise single-pass stream walks, so the whole
+:class:`~repro.storage.backend.StorageBackend` surface runs in bounded
+memory.  I/O is accounted in pages (``io_stats``) so the analysis of
+Sec. 6 can be checked experimentally.
 """
 
 from __future__ import annotations
 
 import os
+import re
 from typing import Iterable, Optional
 
-from ..core.archive import Archive, ArchiveOptions, ElementHistory, ROOT_TAG
+from ..core.archive import (
+    Archive,
+    ArchiveError,
+    ArchiveOptions,
+    ArchiveStats,
+    ElementHistory,
+    ROOT_TAG,
+    _parse_history_path,
+)
 from ..core.merge import MergeStats
 from ..core.nodes import ArchiveNode
+from ..core.tempquery import ChangeReport, archive_diff
+from ..core.tstree import ProbeCount
 from ..core.versionset import VersionSet
 from ..indexes.keyindex import KeyIndex
-from ..indexes.timestamp_tree import ProbeCount, TimestampTreeIndex
+from ..indexes.timestamp_tree import TimestampTreeIndex
 from ..keys.annotate import KeyLabel, annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
+from ..xmltree.serializer import to_string
+from .backend import PartitionedBackend, StorageBackend
 from .chunked import (
     ChunkedArchiver,
     ChunkedArchiverError,
     concatenate_parts,
+    restore_key_order,
     route_to_owning_chunk,
 )
 from .events import (
@@ -49,9 +66,14 @@ from .events import (
 from .extmerge import merge_archive_stream
 from .extsort import sort_version
 
+#: Intermediate files of an interrupted annotate/sort/merge pass.
+_SCRATCH_PATTERN = re.compile(r"^v\d+-(run|merge)\S*\.jsonl$")
 
-class ExternalArchiver:
+
+class ExternalArchiver(StorageBackend):
     """A disk-resident archive with bounded-memory version merging."""
+
+    kind = "external"
 
     def __init__(
         self,
@@ -64,19 +86,37 @@ class ExternalArchiver:
         """``memory_budget`` is the node budget of one sorted run — the
         paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity."""
         self.directory = directory
+        self.storage_root = directory
         self.spec = spec
         self.memory_budget = memory_budget
         self.fan_in = fan_in
-        self.stats = IOStats(page_size=page_size)
+        self.io_stats = IOStats(page_size=page_size)
         os.makedirs(directory, exist_ok=True)
         self.archive_path = os.path.join(directory, "archive.jsonl")
+        self._recover()
         if not os.path.exists(self.archive_path):
             self._write_empty_archive()
 
     # -- bookkeeping ---------------------------------------------------------
 
+    def _recover(self) -> None:
+        """Discard scratch files of an interrupted merge.
+
+        The stream merge publishes by a single :func:`os.replace` of
+        ``archive.next.jsonl`` over ``archive.jsonl`` — atomic on its
+        own — so a crash mid-merge leaves only the pre-merge archive
+        plus scratch files (the unpublished next stream and sorted
+        runs), all droppable.
+        """
+        stale = os.path.join(self.directory, "archive.next.jsonl")
+        if os.path.exists(stale):
+            os.remove(stale)
+        for name in os.listdir(self.directory):
+            if _SCRATCH_PATTERN.match(name):
+                os.remove(os.path.join(self.directory, name))
+
     def _write_empty_archive(self) -> None:
-        with EventWriter(self.archive_path, self.stats) as writer:
+        with EventWriter(self.archive_path, self.io_stats) as writer:
             writer.write(
                 NodeEvent(
                     label=KeyLabel(tag=ROOT_TAG, key=()),
@@ -104,44 +144,30 @@ class ExternalArchiver:
         number = self.last_version + 1
         if document is None:
             self._add_empty_version(number)
+            self.write_manifest()
             return MergeStats()
         annotated = annotate_keys(document, self.spec)  # Sec. 6.1
         version_path = sort_version(  # Sec. 6.2
             annotated,
             self.directory,
             budget=self.memory_budget,
-            stats=self.stats,
+            stats=self.io_stats,
             fan_in=self.fan_in,
             prefix=f"v{number}",
         )
         out_path = os.path.join(self.directory, "archive.next.jsonl")
         merge_stats = merge_archive_stream(  # Sec. 6.3
-            self.archive_path, version_path, out_path, number, self.stats
+            self.archive_path, version_path, out_path, number, self.io_stats
         )
         os.replace(out_path, self.archive_path)
         os.remove(version_path)
+        self.write_manifest()
         return merge_stats
-
-    def ingest_batch(self, documents: Iterable[Optional[Element]]) -> MergeStats:
-        """Annotate/sort/merge a whole sequence of versions.
-
-        The stream merge is already delta-driven (one pass over archive
-        and version streams), so the batch path's job is bookkeeping:
-        one ``last_version`` probe for the whole batch and accumulated
-        :class:`MergeStats`.  Subtree fingerprints live in the in-memory
-        and chunked paths; persisting digests in the event stream is the
-        sharding/async step the ROADMAP stages after this.
-        """
-        total = MergeStats()
-        for document in documents:
-            total.accumulate(self.add_version(document))
-            total.versions += 1
-        return total
 
     def _add_empty_version(self, number: int) -> None:
         out_path = os.path.join(self.directory, "archive.next.jsonl")
-        events = read_events(self.archive_path, self.stats)
-        with EventWriter(out_path, self.stats) as writer:
+        events = read_events(self.archive_path, self.io_stats)
+        with EventWriter(out_path, self.io_stats) as writer:
             root = next(events)
             assert isinstance(root, NodeEvent) and root.timestamp is not None
             timestamp = root.timestamp.copy()
@@ -163,13 +189,19 @@ class ExternalArchiver:
 
     # -- queries -------------------------------------------------------------------
 
-    def retrieve(self, version: int) -> Optional[Element]:
-        """Stream the archive, keeping only the requested version."""
-        events = PeekableEvents(read_events(self.archive_path, self.stats))
+    def retrieve(
+        self, version: int, *, probes: Optional[ProbeCount] = None
+    ) -> Optional[Element]:
+        """Stream the archive, keeping only the requested version.
+
+        ``probes`` is accepted for protocol uniformity but stays zero:
+        the stream walk has no timestamp trees to probe.
+        """
+        events = PeekableEvents(read_events(self.archive_path, self.io_stats))
         root = events.next()
         assert isinstance(root, NodeEvent) and root.timestamp is not None
         if version not in root.timestamp:
-            raise ValueError(
+            raise ArchiveError(
                 f"Version {version} not archived "
                 f"(have {root.timestamp.to_text() or 'none'})"
             )
@@ -225,13 +257,129 @@ class ExternalArchiver:
                         depth -= 1
         return children
 
+    def history(self, path: str) -> ElementHistory:
+        """Temporal history of a keyed element, in one stream pass.
+
+        Each path step scans the current node's children events in
+        order, draining unmatched subtrees without building anything —
+        memory stays proportional to tree height, never archive size.
+        """
+        steps = _parse_history_path(path)
+        if not steps:
+            raise ArchiveError(f"Empty history path {path!r}")
+        events = PeekableEvents(read_events(self.archive_path, self.io_stats))
+        root = events.next()
+        if not isinstance(root, NodeEvent) or root.timestamp is None:
+            raise ArchiveError("Archive stream carries no root timestamp")
+        inherited = root.timestamp
+        found = None
+        for position, (tag, key_value) in enumerate(steps):
+            target = KeyLabel(tag=tag, key=key_value).sort_token()
+            found = None
+            while True:
+                head = events.peek()
+                if head is None or isinstance(head, ExitEvent):
+                    break
+                event = events.next()
+                assert isinstance(event, (NodeEvent, FrontierEvent))
+                timestamp = (
+                    event.timestamp if event.timestamp is not None else inherited
+                )
+                if event.label.sort_token() == target:
+                    found = event
+                    inherited = timestamp
+                    break
+                if isinstance(event, NodeEvent):
+                    depth = 1  # drain the unmatched subtree
+                    while depth:
+                        skipped = events.next()
+                        if isinstance(skipped, NodeEvent):
+                            depth += 1
+                        elif isinstance(skipped, ExitEvent):
+                            depth -= 1
+            if found is None:
+                raise ArchiveError(
+                    f"No element {KeyLabel(tag=tag, key=key_value)} "
+                    f"in the archive at {path!r}"
+                )
+            if position < len(steps) - 1 and not isinstance(found, NodeEvent):
+                raise ArchiveError(
+                    f"No element beneath frontier {tag} in {path!r}"
+                )
+        changes = None
+        if isinstance(found, FrontierEvent):
+            changes = []
+            for alternative in found.alternatives:
+                timestamp = (
+                    alternative.timestamp.copy()
+                    if alternative.timestamp is not None
+                    else inherited.copy()
+                )
+                rendered = "".join(
+                    to_string(c) if isinstance(c, Element) else c.text
+                    for c in alternative.content
+                )
+                changes.append((timestamp, rendered))
+        return ElementHistory(
+            path=path, existence=inherited.copy(), changes=changes
+        )
+
+    def diff(self, from_version: int, to_version: int) -> ChangeReport:
+        """Element-level changes between two versions.
+
+        Materializes the stream once (the diff walks parent and child
+        timestamps together, which a single forward pass cannot); the
+        report matches the in-memory backend's exactly.
+        """
+        return archive_diff(self.to_archive(), from_version, to_version)
+
+    def stats(self) -> ArchiveStats:
+        """Size/shape counters, in one stream pass.
+
+        Mirrors :meth:`Archive.stats` semantics — frontier content
+        counts its nodes, ``stored_timestamps`` counts only explicit
+        (non-inherited) timestamps — with ``serialized_bytes`` the event
+        stream's on-disk size.
+        """
+        nodes = 0
+        stored_timestamps = 0
+        versions = 0
+        first = True
+        for event in read_events(self.archive_path, self.io_stats):
+            if isinstance(event, ExitEvent):
+                continue
+            if first:
+                assert isinstance(event, NodeEvent)
+                if event.timestamp is not None:
+                    versions = len(event.timestamp)
+                first = False
+            nodes += 1
+            if event.timestamp is not None:
+                stored_timestamps += 1
+            if isinstance(event, FrontierEvent):
+                for alternative in event.alternatives:
+                    if alternative.timestamp is not None:
+                        stored_timestamps += 1
+                    for item in alternative.content:
+                        if isinstance(item, Element):
+                            nodes += sum(1 for _ in item.iter())
+                        else:
+                            nodes += 1
+        return ArchiveStats(
+            versions=versions,
+            nodes=nodes,
+            stored_timestamps=stored_timestamps,
+            serialized_bytes=self.archive_bytes(),
+        )
+
     def to_archive(self, options: Optional[ArchiveOptions] = None) -> Archive:
         """Materialize the stream into an in-memory :class:`Archive`.
 
-        Used by the equivalence tests; defeats the purpose otherwise.
+        Used by ``diff`` and the equivalence tests; defeats the
+        bounded-memory purpose otherwise.
         """
         archive = Archive(self.spec, options)
-        events = PeekableEvents(read_events(self.archive_path, self.stats))
+        events = PeekableEvents(read_events(self.archive_path, self.io_stats))
         root = events.next()
         assert isinstance(root, NodeEvent) and root.timestamp is not None
         archive.root = ArchiveNode(
@@ -263,43 +411,59 @@ def archive_to_stream(archive: Archive, path: str, stats: IOStats) -> None:
 
 
 class PersistentIngestor:
-    """Batched ingestion into the persistent chunked store, with live
+    """Batched ingestion into a partitioned persistent store, with live
     retrieval and history indexes.
 
-    The ingestion pipeline of :meth:`ChunkedArchiver.ingest_batch` flushes
-    each chunk to disk once per batch; this facade hooks that flush to
-    keep a :class:`~repro.indexes.keyindex.KeyIndex` (Sec. 7.2 history
+    Runs against the :class:`~repro.storage.backend.PartitionedBackend`
+    protocol rather than a concrete archiver: any backend that stores
+    its archive as independently-loadable parts sharing the global
+    version numbering (today :class:`ChunkedArchiver`; tomorrow a
+    sharded multi-directory store) gets a
+    :class:`~repro.indexes.keyindex.KeyIndex` (Sec. 7.2 history
     lookups) and a
     :class:`~repro.indexes.timestamp_tree.TimestampTreeIndex` (Sec. 7.1
-    guided retrieval) current per chunk, so queries between batches hit
-    indexes instead of re-walking chunk archives.  The index cache holds
-    each chunk's in-memory archive; the on-disk chunk files remain the
-    durable source of truth and are re-adopted lazily after a restart.
+    guided retrieval) kept current per part as batches flush, so
+    queries between batches hit indexes instead of re-walking part
+    archives.  The index cache holds each part's in-memory archive; the
+    on-disk part files remain the durable source of truth and are
+    re-adopted lazily after a restart.
     """
 
     def __init__(
         self,
-        directory: str,
-        spec: KeySpec,
+        directory: Optional[str] = None,
+        spec: Optional[KeySpec] = None,
         chunk_count: int = 8,
         options: Optional[ArchiveOptions] = None,
+        *,
+        backend: Optional[PartitionedBackend] = None,
     ) -> None:
-        self.chunked = ChunkedArchiver(directory, spec, chunk_count, options)
+        if backend is None:
+            if directory is None or spec is None:
+                raise ValueError(
+                    "PersistentIngestor needs either a backend or a "
+                    "directory plus key spec"
+                )
+            backend = ChunkedArchiver(directory, spec, chunk_count, options)
+        self.backend = backend
+        #: Backward-compatible alias from when the chunked store was
+        #: the only partitioned backend.
+        self.chunked = backend
         self._key_indexes: dict[int, KeyIndex] = {}
         self._timestamp_indexes: dict[int, TimestampTreeIndex] = {}
-        #: Chunk adoptions (XML parses) retrieval skipped because the
-        #: chunk's presence timestamp excluded the version (cumulative).
+        #: Part adoptions (XML parses) retrieval skipped because the
+        #: part's presence timestamp excluded the version (cumulative).
         self.chunks_pruned = 0
 
     @property
     def last_version(self) -> int:
-        return self.chunked.last_version
+        return self.backend.last_version
 
     def ingest_batch(self, documents: Iterable[Optional[Element]]) -> MergeStats:
-        """Batch-merge versions; chunk indexes refresh as chunks land."""
-        return self.chunked.ingest_batch(documents, on_chunk=self._index_chunk)
+        """Batch-merge versions; part indexes refresh as parts land."""
+        return self.backend.ingest_batch(documents, on_chunk=self._index_part)
 
-    def _index_chunk(self, index: int, archive: Archive) -> None:
+    def _index_part(self, index: int, archive: Archive) -> None:
         key_index = self._key_indexes.get(index)
         if key_index is None:
             self._key_indexes[index] = KeyIndex(archive)
@@ -311,27 +475,27 @@ class PersistentIngestor:
         else:
             timestamp_index.refresh(archive)
 
-    def _adopt_chunk(self, index: int) -> bool:
-        """Lazily index a chunk that exists on disk but not in the cache
+    def _adopt_part(self, index: int) -> bool:
+        """Lazily index a part that exists on disk but not in the cache
         (e.g. after a restart)."""
         if index in self._timestamp_indexes:
             return True
-        if not os.path.exists(self.chunked._chunk_path(index)):
+        if not self.backend.part_exists(index):
             return False
-        self._index_chunk(index, self.chunked._load_chunk(index))
+        self._index_part(index, self.backend.load_part(index))
         return True
 
     def retrieve(
         self, version: int, *, copy_content: bool = False
     ) -> tuple[Optional[Element], ProbeCount]:
-        """Concatenate per-chunk reconstructions, guided by the
-        timestamp trees; returns the probe accounting alongside.
+        """Concatenate per-part reconstructions in key order, guided by
+        the timestamp trees; returns the probe accounting alongside.
 
-        Unadopted chunks whose presence timestamps exclude ``version``
-        are pruned before their XML is ever parsed — the chunk-level
+        Unadopted parts whose presence timestamps exclude ``version``
+        are pruned before their files are ever parsed — the part-level
         analogue of the timestamp trees' subtree pruning.
 
-        The result shares frontier content with the cached chunk
+        The result shares frontier content with the cached part
         archives (which later batches flush back to disk); callers that
         intend to mutate the returned document must pass
         ``copy_content=True`` or they corrupt the cache.
@@ -343,13 +507,13 @@ class PersistentIngestor:
         probes = ProbeCount()
 
         def parts():
-            for index in range(self.chunked.chunk_count):
+            for index in range(self.backend.part_count):
                 if index not in self._timestamp_indexes:
-                    presence = self.chunked.chunk_presence(index)
+                    presence = self.backend.part_presence(index)
                     if presence is not None and version not in presence:
                         self.chunks_pruned += 1
                         continue
-                if not self._adopt_chunk(index):
+                if not self._adopt_part(index):
                     continue
                 part, part_probes = self._timestamp_indexes[index].retrieve(
                     version, copy_content=copy_content
@@ -357,34 +521,35 @@ class PersistentIngestor:
                 probes.merge(part_probes)
                 yield part
 
-        return concatenate_parts(parts()), probes
+        document = restore_key_order(
+            concatenate_parts(parts()), self.backend.spec
+        )
+        return document, probes
 
     def history(self, path: str) -> ElementHistory:
-        """Route a history query through the owning chunk's key index.
+        """Route a history query through the owning part's key index.
 
-        The index's binary searches locate the owning chunk (and reject
-        the others) in ``O(l log d)``; the chunk's archive — already
+        The index's binary searches locate the owning part (and reject
+        the others) in ``O(l log d)``; the part's archive — already
         cached by the index — then supplies the full
         :class:`ElementHistory` including the ``changes`` content runs,
         matching :meth:`ChunkedArchiver.history`.
         """
         def attempt(index: int):
-            if not self._adopt_chunk(index):
+            if not self._adopt_part(index):
                 return None
-            key_index = self._key_indexes[index]
-            key_index.history(path)  # raises when not in this chunk
-            return key_index.archive.history(path)
+            return self._key_indexes[index].element_history(path)
 
-        return route_to_owning_chunk(self.chunked.chunk_count, attempt, path)
+        return route_to_owning_chunk(self.backend.part_count, attempt, path)
 
     def drop_caches(self) -> None:
-        """Release the per-chunk index/archive caches.
+        """Release the per-part index/archive caches.
 
-        The caches trade the chunked store's memory bound for query
-        speed: every indexed chunk's archive stays in RAM.  Long-lived
-        processes that have touched many chunks can drop the caches and
-        let :meth:`retrieve`/:meth:`history` re-adopt chunks lazily from
-        the durable chunk files.
+        The caches trade the partitioned store's memory bound for query
+        speed: every indexed part's archive stays in RAM.  Long-lived
+        processes that have touched many parts can drop the caches and
+        let :meth:`retrieve`/:meth:`history` re-adopt parts lazily from
+        the durable part files.
         """
         self._key_indexes.clear()
         self._timestamp_indexes.clear()

@@ -1,0 +1,551 @@
+"""The unified storage contract: one read/write surface per archive.
+
+Three persistence strategies grew out of the paper's sections — the
+whole-file archive the CLI speaks (Fig. 5 XML on disk), the key-hash
+:class:`~repro.storage.chunked.ChunkedArchiver` (Sec. 5) and the
+event-stream :class:`~repro.storage.archiver.ExternalArchiver`
+(Sec. 6).  :class:`StorageBackend` is the protocol they all implement,
+so ingestion, retrieval, temporal queries and the CLI are written once
+against the contract and every future backend (sharded, cached,
+service-fronted) plugs into the same seam.
+
+Each archive is self-describing: a ``manifest.json`` (a sidecar
+``<archive>.manifest.json`` for single-file archives) records the
+backend kind, a fingerprint of the key specification and the version
+count, so :func:`open_archive` can route a path to the right backend
+without being told.  Durable backends publish every mutation through
+the write-ahead commit log of :mod:`repro.storage.wal`: a crash at any
+point leaves the archive readable at a version-count boundary, never a
+torn mix of files.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Protocol
+
+from ..core.archive import (
+    Archive,
+    ArchiveError,
+    ArchiveOptions,
+    ArchiveStats,
+    ElementHistory,
+)
+from ..core.ingest import IngestSession
+from ..core.merge import MergeStats
+from ..core.tempquery import ChangeReport, archive_diff
+from ..core.tstree import ProbeCount
+from ..core.versionset import VersionSet
+from ..keys.spec import KeySpec
+from ..xmltree.model import Element
+from .wal import WriteAheadLog, atomic_write_text
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+
+#: Per-version ingest progress callback: ``(version_number, stats)``.
+OnVersion = Optional[Callable[[int, MergeStats], None]]
+
+
+# -- the manifest -------------------------------------------------------------
+
+
+@dataclass
+class Manifest:
+    """The self-describing header every archive carries on disk."""
+
+    kind: str
+    key_spec_hash: str
+    version_count: int
+    format_version: int = MANIFEST_FORMAT
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        record = {
+            "format": self.format_version,
+            "kind": self.kind,
+            "key_spec_hash": self.key_spec_hash,
+            "version_count": self.version_count,
+        }
+        if self.extra:
+            record["extra"] = self.extra
+        return json.dumps(record, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            record = json.loads(text)
+        except ValueError as error:
+            raise ArchiveError(f"Malformed archive manifest: {error}")
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ArchiveError("Malformed archive manifest: no backend kind")
+        return cls(
+            kind=record["kind"],
+            key_spec_hash=record.get("key_spec_hash", ""),
+            version_count=int(record.get("version_count", 0)),
+            format_version=int(record.get("format", MANIFEST_FORMAT)),
+            extra=record.get("extra", {}),
+        )
+
+
+def key_spec_fingerprint(spec: KeySpec) -> str:
+    """Content hash of a key specification (its textual form)."""
+    return hashlib.sha256(str(spec).encode("utf-8")).hexdigest()
+
+
+def manifest_location(path: str) -> str:
+    """Where an archive at ``path`` keeps its manifest."""
+    if os.path.isdir(path):
+        return os.path.join(path, MANIFEST_NAME)
+    return path + ".manifest.json"
+
+
+def keys_location(path: str) -> str:
+    """Where an archive at ``path`` keeps its key specification text."""
+    if os.path.isdir(path):
+        return os.path.join(path, "archive.keys")
+    return path + ".keys"
+
+
+def read_manifest(path: str) -> Optional[Manifest]:
+    """The archive's manifest, or ``None`` for pre-manifest archives."""
+    location = manifest_location(path)
+    try:
+        with open(location, "r", encoding="utf-8") as handle:
+            return Manifest.from_json(handle.read())
+    except FileNotFoundError:
+        return None
+
+
+# -- the storage contract -----------------------------------------------------
+
+
+class StorageBackend(abc.ABC):
+    """One archive's read/write surface, whatever its on-disk shape.
+
+    Version numbers are global and monotonic (1-based); ``retrieve``
+    returns ``None`` for an empty version; keyed siblings come back in
+    key order from every backend, so retrievals are byte-identical
+    across backends.  ``history``/``diff`` use the keyed-path syntax of
+    :meth:`repro.core.archive.Archive.history`.
+    """
+
+    #: Manifest tag for this backend's on-disk layout.
+    kind: str = "abstract"
+    #: Whether ``retrieve`` fills a :class:`ProbeCount` when given one.
+    supports_probes: bool = False
+
+    spec: KeySpec
+    #: Filesystem anchor of the archive — a directory or a single file;
+    #: every backend sets it, and manifest placement derives from it.
+    storage_root: str
+
+    @property
+    @abc.abstractmethod
+    def last_version(self) -> int:
+        """The highest archived version number (0 when empty)."""
+
+    @abc.abstractmethod
+    def add_version(self, document: Optional[Element]) -> MergeStats:
+        """Merge the next version (``None`` records an empty version)."""
+
+    def ingest_batch(
+        self, documents: Iterable[Optional[Element]], on_version: OnVersion = None
+    ) -> MergeStats:
+        """Merge a sequence of versions; ``on_version(number, stats)``
+        fires per landed version where the backend merges
+        version-at-a-time (batch-oriented backends may skip it)."""
+        total = MergeStats()
+        for document in documents:
+            stats = self.add_version(document)
+            total.accumulate(stats)
+            total.versions += 1
+            if on_version is not None:
+                on_version(self.last_version, stats)
+        return total
+
+    @abc.abstractmethod
+    def retrieve(
+        self, version: int, *, probes: Optional[ProbeCount] = None
+    ) -> Optional[Element]:
+        """Reconstruct one version (``probes`` collected when supported)."""
+
+    @abc.abstractmethod
+    def history(self, path: str) -> ElementHistory:
+        """Temporal history of the element at a keyed path."""
+
+    @abc.abstractmethod
+    def diff(self, from_version: int, to_version: int) -> ChangeReport:
+        """Element-level changes between two archived versions."""
+
+    @abc.abstractmethod
+    def stats(self) -> ArchiveStats:
+        """Size/shape counters of the archive."""
+
+    def manifest(self) -> Manifest:
+        """The manifest describing this backend's current state."""
+        return Manifest(
+            kind=self.kind,
+            key_spec_hash=key_spec_fingerprint(self.spec),
+            version_count=self.last_version,
+            extra=self._manifest_extra(),
+        )
+
+    def _manifest_extra(self) -> dict:
+        return {}
+
+    def manifest_path(self) -> str:
+        return manifest_location(self.storage_root)
+
+    def write_manifest(self) -> None:
+        """Publish the manifest alone (atomic on its own).
+
+        Backends whose mutations publish several files stage the
+        manifest inside their WAL commit instead and use this only at
+        archive-creation time."""
+        atomic_write_text(self.manifest_path(), self.manifest().to_json())
+
+    def close(self) -> None:
+        """Release resources; the archive stays durable on disk."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PartitionedBackend(Protocol):
+    """A backend whose archive is stored as independently-loadable
+    parts sharing the global version numbering — the contract
+    :class:`~repro.storage.archiver.PersistentIngestor` maintains its
+    per-part key and timestamp-tree indexes against.
+    """
+
+    spec: KeySpec
+
+    @property
+    def last_version(self) -> int: ...
+
+    @property
+    def part_count(self) -> int: ...
+
+    def part_exists(self, index: int) -> bool: ...
+
+    def load_part(self, index: int) -> Archive: ...
+
+    def part_presence(self, index: int) -> Optional[VersionSet]: ...
+
+    def ingest_batch(
+        self,
+        documents: Iterable[Optional[Element]],
+        on_chunk: Optional[Callable[[int, Archive], None]] = None,
+        on_version: OnVersion = None,
+    ) -> MergeStats: ...
+
+
+# -- the whole-file backend ---------------------------------------------------
+
+
+class FileBackend(StorageBackend):
+    """The CLI's original persistence path behind the protocol: one
+    Fig. 5 ``<T>``-tagged XML file holding the whole archive.
+
+    The archive is loaded lazily and persisted after every mutation
+    through the write-ahead log — the XML and the manifest sidecar
+    publish together, so a crash leaves both at the same version count.
+    The simplest backend, and the fastest for archives that fit in
+    memory; the chunked and external backends take over beyond that.
+    """
+
+    kind = "file"
+    supports_probes = True
+
+    def __init__(
+        self,
+        path: str,
+        spec: KeySpec,
+        options: Optional[ArchiveOptions] = None,
+    ) -> None:
+        self.path = os.path.abspath(path)
+        self.storage_root = self.path
+        self.spec = spec
+        self.options = options or ArchiveOptions()
+        self._wal = WriteAheadLog(self.path + ".wal")
+        self._wal.recover(
+            stray_tmps=(self.path + ".tmp", self.manifest_path() + ".tmp")
+        )
+        self._archive: Optional[Archive] = None
+
+    @property
+    def archive(self) -> Archive:
+        """The in-memory archive, loaded from disk on first use."""
+        if self._archive is None:
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except FileNotFoundError:
+                self._archive = Archive(self.spec, self.options)
+            else:
+                self._archive = Archive.from_xml_string(
+                    text, self.spec, self.options
+                )
+        return self._archive
+
+    def persist(self) -> None:
+        """Publish the archive XML and manifest in one atomic commit."""
+        commit = self._wal.begin()
+        try:
+            commit.stage(self.path, self.archive.to_xml_string())
+            commit.stage(self.manifest_path(), self.manifest().to_json())
+        except BaseException:
+            commit.abort()
+            raise
+        commit.commit(meta={"version_count": self.last_version})
+
+    @property
+    def last_version(self) -> int:
+        return self.archive.last_version
+
+    def add_version(self, document: Optional[Element]) -> MergeStats:
+        stats = self.archive.add_version(document)
+        self.persist()
+        return stats
+
+    def ingest_batch(
+        self, documents: Iterable[Optional[Element]], on_version: OnVersion = None
+    ) -> MergeStats:
+        """Batch under a shared fingerprint memo; one publish at the end."""
+        session = IngestSession(self.archive)
+        for document in documents:
+            stats = session.add(document)
+            if on_version is not None:
+                on_version(self.archive.last_version, stats)
+        self.persist()
+        return session.stats
+
+    def retrieve(
+        self, version: int, *, probes: Optional[ProbeCount] = None
+    ) -> Optional[Element]:
+        return self.archive.retrieve(version, probes=probes)
+
+    def scan_probe_count(self, version: int) -> int:
+        """The full-scan baseline ``--probes`` reports against."""
+        return self.archive.scan_probe_count(version)
+
+    def history(self, path: str) -> ElementHistory:
+        return self.archive.history(path)
+
+    def diff(self, from_version: int, to_version: int) -> ChangeReport:
+        return archive_diff(self.archive, from_version, to_version)
+
+    def stats(self) -> ArchiveStats:
+        return self.archive.stats()
+
+
+# -- opening and creating archives --------------------------------------------
+
+BACKEND_KINDS = ("file", "chunked", "external")
+
+
+def detect_backend_kind(path: str) -> str:
+    """The backend kind stored at ``path``.
+
+    The manifest decides when present; pre-manifest archives fall back
+    to layout sniffing (an ``archive.jsonl`` stream is external, chunk
+    files are chunked, a plain file is a whole-file archive).
+    """
+    if os.path.isdir(path):
+        manifest = read_manifest(path)
+        if manifest is not None:
+            return manifest.kind
+        if os.path.exists(os.path.join(path, "archive.jsonl")):
+            return "external"
+        if (
+            os.path.exists(os.path.join(path, "versions.txt"))
+            # A pending commit log means a chunked archive crashed
+            # mid-publish before its manifest landed; opening it runs
+            # the recovery that completes (or rolls back) the commit.
+            or os.path.exists(os.path.join(path, "wal.json"))
+            or any(
+                name.startswith("chunk-") and name.endswith(".xml")
+                for name in os.listdir(path)
+            )
+        ):
+            return "chunked"
+        raise ArchiveError(f"{path!r} is not an archive directory")
+    if os.path.isfile(path):
+        manifest = read_manifest(path)
+        return manifest.kind if manifest is not None else "file"
+    raise ArchiveError(f"No archive at {path!r}")
+
+
+def _load_spec_text(path: str, keys_file: Optional[str]) -> str:
+    location = keys_file or keys_location(path)
+    try:
+        with open(location, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        raise ArchiveError(
+            f"Key specification {location!r} not found "
+            f"(run 'xarch init' or pass --keys)"
+        )
+
+
+def _infer_chunk_count(path: str) -> int:
+    """Best-effort chunk count for pre-manifest chunked directories."""
+    highest = -1
+    for name in os.listdir(path):
+        if name.startswith("chunk-") and name.endswith(".xml"):
+            try:
+                highest = max(highest, int(name[len("chunk-") : -len(".xml")]))
+            except ValueError:
+                continue
+    return highest + 1 if highest >= 0 else 8
+
+
+def open_archive(
+    path: str,
+    spec: Optional[KeySpec] = None,
+    *,
+    keys_file: Optional[str] = None,
+    options: Optional[ArchiveOptions] = None,
+) -> StorageBackend:
+    """Open an existing archive, auto-detecting its backend.
+
+    ``spec`` (or the key text at ``keys_file`` / the archive's keys
+    sidecar) supplies the key specification; when the archive carries a
+    manifest, the spec is checked against the recorded fingerprint so a
+    wrong keys file fails loudly instead of mis-merging.
+    """
+    from .archiver import ExternalArchiver  # local: avoids an import cycle
+    from .chunked import ChunkedArchiver
+
+    kind = detect_backend_kind(path)
+    if kind == "chunked":
+        # Settle any interrupted commit before reading the manifest:
+        # a crash mid-publish may have left the manifest (and the
+        # chunk-count it records) staged but not yet renamed.
+        WriteAheadLog(os.path.join(path, "wal.json")).recover(
+            stray_tmps=[
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if name.endswith(".tmp")
+            ]
+        )
+    if spec is None:
+        from ..keys.keyparser import parse_key_spec
+
+        spec = parse_key_spec(_load_spec_text(path, keys_file))
+    manifest = read_manifest(path)
+    if manifest is not None and manifest.key_spec_hash:
+        if manifest.key_spec_hash != key_spec_fingerprint(spec):
+            raise ArchiveError(
+                f"Key specification does not match the one {path!r} was "
+                f"created with (manifest fingerprint mismatch)"
+            )
+    if kind == "file":
+        return FileBackend(path, spec, options)
+    if kind == "chunked":
+        if manifest is not None and "chunk_count" in manifest.extra:
+            chunk_count = int(manifest.extra["chunk_count"])
+        else:
+            chunk_count = _infer_chunk_count(path)
+        return ChunkedArchiver(path, spec, chunk_count, options)
+    if kind == "external":
+        if options is not None and options.compaction:
+            # Reject loudly, exactly like create_archive: silently
+            # ignoring the flag would hand back a non-compacted archive.
+            raise ArchiveError("The external backend does not store weaves")
+        return ExternalArchiver(path, spec)
+    raise ArchiveError(f"Unknown backend kind {kind!r} in {path!r} manifest")
+
+
+def _clear_archive(path: str) -> None:
+    """Remove an existing archive so ``force`` recreation starts empty.
+
+    Deletes only what is recognizably an archive: a plain file (plus
+    its manifest/keys/WAL sidecars) or a directory whose layout
+    :func:`detect_backend_kind` accepts.  A populated directory that is
+    *not* an archive is refused rather than destroyed.
+    """
+    import shutil
+
+    if os.path.isfile(path):
+        for target in (
+            path,
+            manifest_location(path),
+            keys_location(path),
+            path + ".wal",
+        ):
+            if os.path.exists(target):
+                os.remove(target)
+        return
+    try:
+        detect_backend_kind(path)
+    except ArchiveError:
+        raise ArchiveError(
+            f"{path!r} exists and is not an archive; refusing to overwrite it"
+        )
+    shutil.rmtree(path)
+
+
+def create_archive(
+    path: str,
+    spec_text: str,
+    kind: str = "file",
+    *,
+    chunk_count: int = 8,
+    options: Optional[ArchiveOptions] = None,
+    force: bool = False,
+) -> StorageBackend:
+    """Create an empty archive of the given backend kind at ``path``.
+
+    Writes the keys sidecar and the manifest, so every later
+    :func:`open_archive` needs only the path.
+    """
+    from ..keys.keyparser import parse_key_spec
+
+    from .archiver import ExternalArchiver  # local: avoids an import cycle
+    from .chunked import ChunkedArchiver
+
+    if kind not in BACKEND_KINDS:
+        raise ArchiveError(
+            f"Unknown backend kind {kind!r} (choose from {', '.join(BACKEND_KINDS)})"
+        )
+    spec = parse_key_spec(spec_text)  # validate before touching the disk
+    occupied = (
+        os.path.isfile(path)
+        or (os.path.isdir(path) and bool(os.listdir(path)))
+    )
+    if occupied and not force:
+        raise ArchiveError(f"{path!r} exists (use --force)")
+    if occupied:
+        _clear_archive(path)  # force: reinitialize, don't adopt
+    if kind == "external" and options is not None and options.compaction:
+        raise ArchiveError("The external backend does not store weaves")
+    if kind == "file" and os.path.isdir(path):
+        raise ArchiveError(
+            f"{path!r} is a directory; pick a directory backend "
+            f"(--backend chunked|external) or a file path"
+        )
+    backend: StorageBackend
+    if kind == "file":
+        backend = FileBackend(path, spec, options)
+        backend.persist()
+    elif kind == "chunked":
+        os.makedirs(path, exist_ok=True)
+        backend = ChunkedArchiver(path, spec, chunk_count, options)
+        backend.write_manifest()
+    else:
+        os.makedirs(path, exist_ok=True)
+        backend = ExternalArchiver(path, spec)
+        backend.write_manifest()
+    from .wal import atomic_write_text
+
+    atomic_write_text(keys_location(path), spec_text)
+    return backend

@@ -22,14 +22,17 @@ import hashlib
 import os
 from typing import Callable, Iterable, Optional
 
-from ..core.archive import Archive, ArchiveOptions
+from ..core.archive import Archive, ArchiveOptions, ArchiveStats, ElementHistory
 from ..core.ingest import IngestSession
 from ..core.merge import MergeStats
+from ..core.tempquery import Change, ChangeReport, _step, archive_diff
+from ..core.tstree import ProbeCount
 from ..core.versionset import VersionSet
-from ..keys.annotate import annotate_keys, compute_key_value
+from ..keys.annotate import annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
-from ..xmltree.parser import parse_document
+from .backend import OnVersion, StorageBackend
+from .wal import Commit, WriteAheadLog
 
 
 class ChunkedArchiverError(ValueError):
@@ -55,6 +58,40 @@ def concatenate_parts(parts) -> Optional[Element]:
         for child in part.children:
             result.append(child)
     return result
+
+
+def restore_key_order(document: Optional[Element], spec: KeySpec) -> Optional[Element]:
+    """Re-sort a concatenated reconstruction's records into key order.
+
+    Hash partitioning scatters a version's records across chunks, so
+    plain concatenation returns them grouped by chunk.  Every in-chunk
+    reconstruction already emits keyed siblings in key order, and depth
+    beyond the record level stays within one chunk — re-sorting the
+    top-level records is therefore enough to make chunked retrievals
+    byte-identical to the other backends.  Documents whose top level is
+    not fully keyed are returned untouched.
+
+    Cost: the key annotation stops descending at frontier paths, so
+    the extra walk is proportional to the keyed nodes above the
+    frontier (the records being sorted), not to the full document.
+    """
+    if document is None or not document.children:
+        return document
+    try:
+        annotated = annotate_keys(document, spec)
+    except ValueError:
+        return document  # unannotatable reconstruction: keep chunk order
+    tokens = []
+    for child in document.children:
+        if not isinstance(child, Element):
+            return document
+        label = annotated.label(child)
+        if label is None:
+            return document
+        tokens.append(label.sort_token())
+    order = sorted(range(len(tokens)), key=lambda i: tokens[i])
+    document.children[:] = [document.children[i] for i in order]
+    return document
 
 
 def _chunk_presence_of(archive: Archive) -> VersionSet:
@@ -91,14 +128,23 @@ def route_to_owning_chunk(chunk_count: int, attempt, path: str):
     raise ChunkedArchiverError(f"No element at {path!r} in any chunk")
 
 
-class ChunkedArchiver:
+class ChunkedArchiver(StorageBackend):
     """Archive per key-hash chunk; concatenate for the full picture.
 
     ``record_depth`` selects the partitioning level: 1 partitions the
     children of the document root (the paper's record level for OMIM
     and Swiss-Prot, whose roots hold a flat list of ``Record``
     elements).
+
+    Every mutation publishes through the write-ahead log: chunk files,
+    presence sidecars, the version counter and the manifest are staged
+    as ``*.tmp``, fsynced behind one WAL record, then renamed into
+    place — a crash mid-batch recovers to the pre-batch archive (or, if
+    publication had begun, completes it) instead of a torn mix.
     """
+
+    kind = "chunked"
+    supports_probes = True
 
     def __init__(
         self,
@@ -110,6 +156,7 @@ class ChunkedArchiver:
         if chunk_count < 1:
             raise ChunkedArchiverError("Need at least one chunk")
         self.directory = directory
+        self.storage_root = directory
         self.spec = spec
         self.chunk_count = chunk_count
         self.options = options or ArchiveOptions()
@@ -117,6 +164,14 @@ class ChunkedArchiver:
         #: timestamp excluded the requested version (cumulative).
         self.chunks_pruned = 0
         os.makedirs(directory, exist_ok=True)
+        self._wal = WriteAheadLog(os.path.join(directory, "wal.json"))
+        self._wal.recover(
+            stray_tmps=[
+                os.path.join(directory, name)
+                for name in os.listdir(directory)
+                if name.endswith(".tmp")
+            ]
+        )
         self._version_count = self._load_version_count()
 
     # -- chunk file plumbing ----------------------------------------------------
@@ -137,10 +192,6 @@ class ChunkedArchiver:
         except FileNotFoundError:
             return 0
 
-    def _store_version_count(self) -> None:
-        with open(self._meta_path(), "w", encoding="utf-8") as handle:
-            handle.write(str(self._version_count))
-
     def _load_chunk(self, index: int) -> Archive:
         path = self._chunk_path(index)
         if not os.path.exists(path):
@@ -153,14 +204,23 @@ class ChunkedArchiver:
         with open(path, "r", encoding="utf-8") as handle:
             return Archive.from_xml_string(handle.read(), self.spec, self.options)
 
-    def _store_chunk(self, index: int, archive: Archive) -> None:
-        # Presence first: if a crash lands between the two writes, a
-        # superset-stale sidecar merely costs an unnecessary parse,
-        # whereas a subset-stale one would silently prune live versions.
-        with open(self._presence_path(index), "w", encoding="utf-8") as handle:
-            handle.write(_chunk_presence_of(archive).to_text())
-        with open(self._chunk_path(index), "w", encoding="utf-8") as handle:
-            handle.write(archive.to_xml_string())
+    def _stage_chunk(self, commit: Commit, index: int, archive: Archive) -> None:
+        commit.stage(self._presence_path(index), _chunk_presence_of(archive).to_text())
+        commit.stage(self._chunk_path(index), archive.to_xml_string())
+
+    def _stage_meta(self, commit: Commit, version_count: int) -> None:
+        commit.stage(self._meta_path(), str(version_count))
+        commit.stage(
+            self.manifest_path(), self._manifest_at(version_count).to_json()
+        )
+
+    def _manifest_at(self, version_count: int):
+        manifest = self.manifest()
+        manifest.version_count = version_count
+        return manifest
+
+    def _manifest_extra(self) -> dict:
+        return {"chunk_count": self.chunk_count}
 
     def chunk_presence(self, index: int) -> Optional[VersionSet]:
         """Versions at which the chunk actually stores records.
@@ -212,29 +272,52 @@ class ChunkedArchiver:
     def last_version(self) -> int:
         return self._version_count
 
+    @property
+    def part_count(self) -> int:
+        """Independently-loadable parts (the ``PartitionedBackend``
+        contract the index-maintaining ingestor runs against)."""
+        return self.chunk_count
+
+    def part_exists(self, index: int) -> bool:
+        return os.path.exists(self._chunk_path(index))
+
+    def load_part(self, index: int) -> Archive:
+        return self._load_chunk(index)
+
+    def part_presence(self, index: int) -> Optional[VersionSet]:
+        return self.chunk_presence(index)
+
     def add_version(self, document: Optional[Element]) -> MergeStats:
-        """Partition the version and merge chunk by chunk."""
+        """Partition the version and merge chunk by chunk; all chunk
+        files publish atomically behind one WAL record."""
         total = MergeStats()
         parts = self._partition(document) if document is not None else {}
-        for index in range(self.chunk_count):
-            # Chunks with no records this version still advance their
-            # version counter (as an empty version) so timestamps align.
-            chunk_exists = os.path.exists(self._chunk_path(index))
-            part = parts.get(index)
-            if part is None and not chunk_exists:
-                continue  # nothing stored, nothing new: stay lazy
-            archive = self._load_chunk(index)
-            total.accumulate(archive.add_version(part))
-            self._store_chunk(index, archive)
+        commit = self._wal.begin()
+        try:
+            for index in range(self.chunk_count):
+                # Chunks with no records this version still advance their
+                # version counter (as an empty version) so timestamps align.
+                chunk_exists = os.path.exists(self._chunk_path(index))
+                part = parts.get(index)
+                if part is None and not chunk_exists:
+                    continue  # nothing stored, nothing new: stay lazy
+                archive = self._load_chunk(index)
+                total.accumulate(archive.add_version(part))
+                self._stage_chunk(commit, index, archive)
+            self._stage_meta(commit, self._version_count + 1)
+        except BaseException:
+            commit.abort()  # staging failed: nothing was committed
+            raise
+        commit.commit(meta={"version_count": self._version_count + 1})
         total.versions = 1
         self._version_count += 1
-        self._store_version_count()
         return total
 
     def ingest_batch(
         self,
         documents: Iterable[Optional[Element]],
         on_chunk: Optional[Callable[[int, Archive], None]] = None,
+        on_version: OnVersion = None,
     ) -> MergeStats:
         """Merge a whole sequence of versions chunk-major.
 
@@ -254,38 +337,65 @@ class ChunkedArchiver:
         paper's 256 MB budget bound it by ingesting in slices —
         consecutive ``ingest_batch`` calls produce chunk files identical
         to one big batch (and to a per-version loop).
+
+        ``on_version`` is accepted for protocol uniformity but never
+        fires: the chunk-major order merges each version's records
+        chunk by chunk, so no per-version stats exist to report.
         """
         partitions = [
             self._partition(document) if document is not None else {}
             for document in documents
         ]
         total = MergeStats()
-        for index in range(self.chunk_count):
-            chunk_exists = os.path.exists(self._chunk_path(index))
-            if not chunk_exists and not any(index in parts for parts in partitions):
-                continue  # never stored, never mentioned: stay lazy
-            archive = self._load_chunk(index)
-            session = IngestSession(archive)
-            for parts in partitions:
-                # Versions without records for this chunk are empty
-                # versions locally, keeping timestamps globally aligned.
-                session.add(parts.get(index))
-            self._store_chunk(index, archive)
-            if on_chunk is not None:
-                on_chunk(index, archive)
-            total.accumulate(session.stats)
+        commit = self._wal.begin()
+        # ``on_chunk`` fires only after the commit publishes, so index
+        # caches never adopt state a failed batch rolls back.  Deferral
+        # keeps the touched archives alive until then — no extra peak
+        # memory in practice, since the hook's only caller (the index
+        # maintainer) retains every archive it is handed anyway.
+        landed: list[tuple[int, Archive]] = []
+        try:
+            for index in range(self.chunk_count):
+                chunk_exists = os.path.exists(self._chunk_path(index))
+                if not chunk_exists and not any(
+                    index in parts for parts in partitions
+                ):
+                    continue  # never stored, never mentioned: stay lazy
+                archive = self._load_chunk(index)
+                session = IngestSession(archive)
+                for parts in partitions:
+                    # Versions without records for this chunk are empty
+                    # versions locally, keeping timestamps globally aligned.
+                    session.add(parts.get(index))
+                self._stage_chunk(commit, index, archive)
+                if on_chunk is not None:
+                    landed.append((index, archive))
+                total.accumulate(session.stats)
+            self._stage_meta(commit, self._version_count + len(partitions))
+        except BaseException:
+            commit.abort()  # staging failed: nothing was committed
+            raise
+        commit.commit(
+            meta={"version_count": self._version_count + len(partitions)}
+        )
         total.versions = len(partitions)
         self._version_count += len(partitions)
-        self._store_version_count()
+        if on_chunk is not None:
+            for index, archive in landed:
+                on_chunk(index, archive)
         return total
 
-    def retrieve(self, version: int) -> Optional[Element]:
-        """Concatenate the per-chunk reconstructions.
+    def retrieve(
+        self, version: int, *, probes: Optional[ProbeCount] = None
+    ) -> Optional[Element]:
+        """Concatenate the per-chunk reconstructions, in key order.
 
         Chunks whose presence timestamps exclude ``version`` are pruned
         before their XML is parsed (counted in ``chunks_pruned``); the
         chunks that do load reconstruct tree-guided via
-        :meth:`Archive.retrieve`.
+        :meth:`Archive.retrieve`, accumulating into ``probes`` when
+        given.  The concatenation is re-sorted into key order so the
+        result is byte-identical to the other backends'.
         """
         if not 1 <= version <= self._version_count:
             raise ChunkedArchiverError(
@@ -300,11 +410,19 @@ class ChunkedArchiver:
                 if presence is not None and version not in presence:
                     self.chunks_pruned += 1
                     continue
-                yield self._load_chunk(index).retrieve(version)
+                yield self._load_chunk(index).retrieve(version, probes=probes)
 
-        return concatenate_parts(parts())
+        return restore_key_order(concatenate_parts(parts()), self.spec)
 
-    def history(self, path: str):
+    def scan_probe_count(self, version: int) -> int:
+        """Summed full-scan baseline across the stored chunks."""
+        total = 0
+        for index in range(self.chunk_count):
+            if os.path.exists(self._chunk_path(index)):
+                total += self._load_chunk(index).scan_probe_count(version)
+        return total
+
+    def history(self, path: str) -> ElementHistory:
         """Route a history query to the owning chunk.
 
         The first step of the path identifies the root; the second the
@@ -317,6 +435,128 @@ class ChunkedArchiver:
             return self._load_chunk(index).history(path)
 
         return route_to_owning_chunk(self.chunk_count, attempt, path)
+
+    def diff(self, from_version: int, to_version: int) -> ChangeReport:
+        """Element-level changes, merged across chunks.
+
+        Every chunk shares the global version numbering, so each chunk
+        archive answers for its own records; the union of the per-chunk
+        reports is the whole answer (grouped by chunk, since records
+        are hash-scattered).
+
+        One correction is needed: a chunk whose records all die (or are
+        all new) between the two versions reports its *shell* — the
+        shared document root — as deleted/added, because chunk-locally
+        it is.  Globally the shell lives as long as any chunk has
+        records, so shell-level changes are expanded into the per-record
+        changes beneath them, unless the shell really did (dis)appear
+        globally, in which case it is reported once like the in-memory
+        walk does.
+        """
+        for version in (from_version, to_version):
+            if not 1 <= version <= self._version_count:
+                raise ChunkedArchiverError(
+                    f"Version {version} not archived "
+                    f"(have 1..{self._version_count})"
+                )
+        report = ChangeReport(from_version=from_version, to_version=to_version)
+        shell_changes: list[tuple[Archive, Change]] = []
+        presence = VersionSet()
+        for index in range(self.chunk_count):
+            if not os.path.exists(self._chunk_path(index)):
+                continue
+            archive = self._load_chunk(index)
+            presence = presence.union(_chunk_presence_of(archive))
+            shell_paths = {
+                "/" + _step(shell) for shell in archive.root.children
+            }
+            part = archive_diff(archive, from_version, to_version)
+            for change in part.changes:
+                if change.path in shell_paths:
+                    shell_changes.append((archive, change))
+                else:
+                    report.changes.append(change)
+        alive_from = from_version in presence
+        alive_to = to_version in presence
+        if alive_from != alive_to:
+            # The document root itself (dis)appeared: one change, like
+            # the in-memory walk reports a whole added/deleted subtree.
+            kind = "added" if alive_to else "deleted"
+            seen: set[str] = set()
+            for _, change in shell_changes:
+                if change.path not in seen:
+                    seen.add(change.path)
+                    report.changes.append(Change(kind=kind, path=change.path))
+        elif alive_from and alive_to:
+            for archive, change in shell_changes:
+                report.changes.extend(
+                    self._expand_shell_change(
+                        archive, change, from_version, to_version
+                    )
+                )
+        return report
+
+    @staticmethod
+    def _expand_shell_change(
+        archive: Archive, change: Change, from_version: int, to_version: int
+    ) -> list[Change]:
+        """Per-record changes beneath a chunk-locally flickering shell.
+
+        A *deleted* shell had its records alive at the ``from`` version;
+        an *added* shell has them at the ``to`` version.
+        """
+        version = from_version if change.kind == "deleted" else to_version
+        root_timestamp = archive.root.timestamp
+        if root_timestamp is None:
+            return []
+        expanded: list[Change] = []
+        for shell in archive.root.children:
+            if "/" + _step(shell) != change.path:
+                continue
+            shell_timestamp = shell.effective_timestamp(root_timestamp)
+            for record in shell.children:
+                if version in record.effective_timestamp(shell_timestamp):
+                    expanded.append(
+                        Change(
+                            kind=change.kind,
+                            path=f"{change.path}/{_step(record)}",
+                        )
+                    )
+        return expanded
+
+    def stats(self) -> ArchiveStats:
+        """Aggregated size/shape counters across the chunk archives.
+
+        Every chunk stores its own copy of the archive root and of the
+        document shell (the record parent); ``nodes`` folds those
+        duplicates into a single logical occurrence so the count equals
+        the other backends' for the same archive.  ``stored_timestamps``
+        and ``serialized_bytes`` count what this representation actually
+        stores — the per-chunk shells each carry a timestamp, so both
+        run higher than the single-file encoding.
+        """
+        nodes = 1
+        stored_timestamps = 1
+        seen_shells: set[tuple] = set()
+        for index in range(self.chunk_count):
+            if not os.path.exists(self._chunk_path(index)):
+                continue
+            archive = self._load_chunk(index)
+            if archive.root.timestamp is not None:
+                stored_timestamps += archive.root.timestamp_count() - 1
+            for shell in archive.root.children:
+                token = shell.label.sort_token()
+                nodes += shell.node_count()
+                if token in seen_shells:
+                    nodes -= 1  # the shell itself is shared, not repeated
+                else:
+                    seen_shells.add(token)
+        return ArchiveStats(
+            versions=self._version_count,
+            nodes=nodes,
+            stored_timestamps=stored_timestamps,
+            serialized_bytes=self.total_bytes(),
+        )
 
     def total_bytes(self) -> int:
         """Summed size of all chunk files (the paper concatenates)."""

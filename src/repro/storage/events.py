@@ -23,7 +23,7 @@ page size ``B`` gives the page counts of the paper's analysis.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 from ..core.nodes import Alternative, ArchiveNode, ContentNode

@@ -10,7 +10,6 @@ into a single sorted stream.
 from __future__ import annotations
 
 import os
-from typing import Iterator
 
 from ..keys.annotate import AnnotatedDocument
 from ..xmltree.model import Element

@@ -1,0 +1,207 @@
+"""Write-ahead commit log and atomic file publication.
+
+The durable backends never overwrite archive state in place.  A commit
+proceeds in three phases:
+
+1. **Stage** — every file of the commit is written to ``<final>.tmp``
+   (same directory, so the later rename never crosses filesystems) and
+   fsynced;
+2. **Append** — one WAL record listing the staged files (plus commit
+   metadata) is written, itself via tmp+rename, and the directory is
+   fsynced.  The record is the *intent log* that makes recovery
+   deterministic — not yet the commit point;
+3. **Publish** — each staged file is moved over its final name with
+   :func:`os.replace`, the directory is fsynced, and the WAL record is
+   removed.  The **first publish rename is the commit point**: a batch
+   whose record is durable but whose files are all still staged rolls
+   back on recovery, so nothing may be acknowledged to a caller before
+   publish begins.
+
+Recovery on open inspects the WAL record:
+
+* no record → any ``*.tmp`` stragglers are from a crash mid-stage;
+  they are discarded (rollback — nothing was committed);
+* record present and *every* staged file still has its ``.tmp`` → the
+  crash hit between append and publish; the batch is rolled back
+  (tmps and record deleted) and the archive reads at the pre-batch
+  state;
+* record present with some tmps already renamed → the crash hit
+  mid-publish; the remaining renames are replayed (roll forward) so the
+  archive never exposes a torn mix of old and new files.
+
+The roll-back-if-nothing-published rule keeps recovery deterministic:
+either no rename happened (the batch is droppable) or at least one did
+(the batch must complete).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Optional
+
+WAL_FORMAT = 1
+
+
+class WalError(ValueError):
+    """Raised when a commit log cannot be interpreted."""
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's entry table (rename durability on POSIX).
+
+    Platforms that refuse ``open`` on directories (Windows) skip the
+    sync; the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_file_durable(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` and fsync the file (not the dir)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Publish ``text`` at ``path`` atomically: tmp, fsync, rename,
+    directory fsync.  Readers see either the old or the new content,
+    never a torn write."""
+    tmp = path + ".tmp"
+    write_file_durable(tmp, text)
+    os.replace(tmp, path)
+    fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+class WriteAheadLog:
+    """One archive's commit log: stage, append, publish, recover.
+
+    ``path`` is the WAL record's location; staged files may live in any
+    directory (entries are recorded relative to the WAL's directory).
+    A :class:`Commit` built by :meth:`begin` accumulates staged files;
+    its :meth:`Commit.commit` runs append + publish.  Tests simulate
+    crashes by monkeypatching :meth:`publish` to raise after
+    :meth:`append` has made the record durable.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        self.directory = os.path.dirname(self.path)
+
+    # -- commit protocol ---------------------------------------------------
+
+    def begin(self) -> "Commit":
+        return Commit(self)
+
+    def append(self, entries: list[str], meta: Optional[dict] = None) -> None:
+        """Make the intent record durable (recovery's decision input;
+        the commit point is the first rename in :meth:`publish`)."""
+        record = {
+            "format": WAL_FORMAT,
+            "entries": [os.path.relpath(entry, self.directory) for entry in entries],
+            "meta": meta or {},
+        }
+        atomic_write_text(self.path, json.dumps(record))
+
+    def publish(self, entries: list[str]) -> None:
+        """Rename every staged file over its final name and clear the
+        record.  Idempotent: entries whose tmp is already gone were
+        published before a crash and are skipped."""
+        for entry in entries:
+            tmp = entry + ".tmp"
+            if os.path.exists(tmp):
+                os.replace(tmp, entry)
+        fsync_directory(self.directory)
+        self.clear()
+
+    def clear(self) -> None:
+        if os.path.exists(self.path):
+            os.remove(self.path)
+            fsync_directory(self.directory)
+
+    # -- recovery ----------------------------------------------------------
+
+    def read_record(self) -> Optional[dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            raise WalError(f"Unreadable commit log {self.path!r}: {error}")
+        if not isinstance(record, dict) or "entries" not in record:
+            raise WalError(f"Malformed commit log {self.path!r}")
+        return record
+
+    def recover(self, stray_tmps: Iterable[str] = ()) -> str:
+        """Bring the archive directory to a consistent state.
+
+        Returns ``"clean"``, ``"rolled-back"`` or ``"rolled-forward"``.
+        ``stray_tmps`` names tmp files the caller knows could exist
+        (crash mid-stage); they are removed when no commit record claims
+        them.
+        """
+        try:
+            record = self.read_record()
+        except WalError:
+            # A torn record cannot have been the commit point (the
+            # record itself is published atomically); treat as absent.
+            os.remove(self.path)
+            record = None
+        if record is None:
+            removed = False
+            for tmp in stray_tmps:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+                    removed = True
+            return "rolled-back" if removed else "clean"
+        entries = [
+            os.path.join(self.directory, entry) for entry in record["entries"]
+        ]
+        if all(os.path.exists(entry + ".tmp") for entry in entries):
+            # Nothing was published: drop the batch (pre-batch state).
+            for entry in entries:
+                os.remove(entry + ".tmp")
+            self.clear()
+            return "rolled-back"
+        # Publication started: finish it so no torn mix survives.
+        self.publish(entries)
+        return "rolled-forward"
+
+
+class Commit:
+    """Staged files of one atomic commit (see :class:`WriteAheadLog`)."""
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self._wal = wal
+        self._entries: list[str] = []
+
+    def stage(self, path: str, text: str) -> None:
+        """Write one file of the commit to its staging name."""
+        path = os.path.abspath(path)
+        write_file_durable(path + ".tmp", text)
+        self._entries.append(path)
+
+    def commit(self, meta: Optional[dict] = None) -> None:
+        """Append the record, then publish every staged file."""
+        if not self._entries:
+            return
+        self._wal.append(self._entries, meta)
+        self._wal.publish(self._entries)
+        self._entries = []
+
+    def abort(self) -> None:
+        """Discard staged files after a failure before the append."""
+        for entry in self._entries:
+            tmp = entry + ".tmp"
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        self._entries = []

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Union
 
-from .model import Element, Text
+from .model import Element
 
 
 class XPathError(ValueError):

@@ -36,10 +36,15 @@ class TestInitAdd:
         with pytest.raises(SystemExit):
             run("init", archive, "--keys", workspace / "keys.txt")
 
-    def test_init_force(self, workspace):
+    def test_init_force(self, workspace, capsys):
         archive = workspace / "archive.xml"
         run("init", archive, "--keys", workspace / "keys.txt")
+        run("add", archive, workspace / "v1.xml")
         assert run("init", archive, "--keys", workspace / "keys.txt", "--force") == 0
+        capsys.readouterr()
+        # --force reinitializes the archive; it does not adopt the old one.
+        assert run("stats", archive) == 0
+        assert "versions:           0" in capsys.readouterr().out
 
     def test_add_versions(self, workspace, capsys):
         archive = workspace / "archive.xml"
@@ -182,6 +187,114 @@ class TestIngest:
         with pytest.raises(SystemExit):
             run("ingest", workspace / "batch.xml", empty,
                 "--keys", workspace / "keys.txt")
+
+
+class TestBackends:
+    """Every subcommand must work identically on all three backends,
+    auto-detected from the archive's manifest (regression: ``xarch
+    log``/``diff`` previously could not target chunked or external
+    archives at all)."""
+
+    @pytest.fixture(params=["file", "chunked", "external"])
+    def backend_archive(self, request, workspace):
+        name = "archive.xml" if request.param == "file" else "archive.d"
+        archive = workspace / name
+        assert (
+            run(
+                "init", archive, "--keys", workspace / "keys.txt",
+                "--backend", request.param,
+            )
+            == 0
+        )
+        assert (
+            run(
+                "add", archive,
+                workspace / "v1.xml", workspace / "v2.xml",
+                workspace / "v3.xml", workspace / "v4.xml",
+            )
+            == 0
+        )
+        return request.param, archive
+
+    def test_get(self, backend_archive, capsys):
+        _, archive = backend_archive
+        assert run("get", archive, "1") == 0
+        assert "<name>finance</name>" in capsys.readouterr().out
+
+    def test_log(self, backend_archive, capsys):
+        _, archive = backend_archive
+        code = run(
+            "log", archive, "/db/dept[name=finance]/emp[fn=John, ln=Doe]"
+        )
+        assert code == 0
+        assert "3-4" in capsys.readouterr().out
+
+    def test_log_missing_element_clean_error(self, backend_archive, capsys):
+        _, archive = backend_archive
+        assert run("log", archive, "/db/dept[name=hr]") == 1
+        assert "xarch:" in capsys.readouterr().err
+
+    def test_diff(self, backend_archive, capsys):
+        _, archive = backend_archive
+        assert run("diff", archive, "3", "4") == 0
+        out = capsys.readouterr().out
+        assert "deleted /db/dept[name=marketing]" in out
+        assert "changed" in out
+
+    def test_stats(self, backend_archive, capsys):
+        kind, archive = backend_archive
+        assert run("stats", archive) == 0
+        out = capsys.readouterr().out
+        assert f"backend:            {kind}" in out
+        assert "versions:           4" in out
+
+    def test_ingest_creates_backend(self, workspace, capsys):
+        for kind in ("chunked", "external"):
+            archive = workspace / f"batch-{kind}"
+            code = run(
+                "ingest", archive,
+                workspace / "v1.xml", workspace / "v2.xml",
+                "--keys", workspace / "keys.txt", "--backend", kind,
+            )
+            assert code == 0
+            assert "ingested 2 versions" in capsys.readouterr().out
+            assert run("get", archive, "2") == 0
+
+    def test_get_byte_identical_across_backends(self, workspace, capsys):
+        texts = {}
+        for kind in ("file", "chunked", "external"):
+            archive = workspace / f"xid-{kind}"
+            run(
+                "ingest", archive,
+                workspace / "v1.xml", workspace / "v2.xml",
+                workspace / "v3.xml", workspace / "v4.xml",
+                "--keys", workspace / "keys.txt", "--backend", kind,
+            )
+            capsys.readouterr()
+            assert run("get", archive, "3") == 0
+            texts[kind] = capsys.readouterr().out
+        assert texts["file"] == texts["chunked"] == texts["external"]
+
+    def test_compaction_rejected_on_external(self, workspace, capsys):
+        code = run(
+            "ingest", workspace / "weave-ext",
+            workspace / "v1.xml",
+            "--keys", workspace / "keys.txt",
+            "--backend", "external", "--compaction",
+        )
+        assert code == 1
+        assert "weave" in capsys.readouterr().err
+        # ...and on an *existing* external archive the flag fails just
+        # as loudly instead of being silently ignored.
+        archive = workspace / "plain-ext"
+        run(
+            "ingest", archive, workspace / "v1.xml",
+            "--keys", workspace / "keys.txt", "--backend", "external",
+        )
+        capsys.readouterr()
+        code = run("ingest", archive, workspace / "v2.xml", "--compaction")
+        assert code == 1
+        assert "weave" in capsys.readouterr().err
 
 
 class TestMine:

@@ -8,7 +8,6 @@ from repro.core import (
     ArchiveOptions,
     AttributeChangeError,
     Fingerprinter,
-    VersionSet,
     documents_equivalent,
 )
 from repro.data.company import company_key_spec, company_version, company_versions

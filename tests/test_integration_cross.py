@@ -7,7 +7,6 @@ archiver, and all four delta repositories are fed the same version
 sequences and compared pairwise through the key-canonical normal form.
 """
 
-import tempfile
 
 import pytest
 

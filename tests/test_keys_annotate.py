@@ -13,7 +13,6 @@ from repro.keys import (
     iter_keyed_nodes,
     key,
     KeySpec,
-    parse_key_spec,
     satisfies,
 )
 from repro.xmltree import parse_document

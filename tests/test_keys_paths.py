@@ -3,7 +3,6 @@
 import pytest
 
 from repro.keys import (
-    concat,
     format_path,
     is_proper_prefix,
     navigate,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Archive, documents_equivalent
+from repro.core import documents_equivalent
 from repro.keys import (
     KeySpecError,
     RelationalArchiver,

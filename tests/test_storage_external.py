@@ -12,7 +12,6 @@ from repro.storage import (
     EventWriter,
     ExternalArchiver,
     IOStats,
-    PeekableEvents,
     decode_event,
     encode_event,
     read_events,
@@ -159,9 +158,9 @@ class TestExternalArchiver:
         versions = OmimGenerator(seed=2, initial_records=15).generate_versions(3)
         for version in versions:
             external.add_version(version)
-        assert external.stats.bytes_written > 0
-        assert external.stats.bytes_read > 0
-        assert external.stats.pages_written() >= 1
+        assert external.io_stats.bytes_written > 0
+        assert external.io_stats.bytes_read > 0
+        assert external.io_stats.pages_written() >= 1
 
     def test_omim_scale_with_small_budget(self, tmp_path):
         """A run budget far below the document size still archives

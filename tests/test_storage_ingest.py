@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.core import Archive, ArchiveOptions, documents_equivalent
+from repro.core import Archive, documents_equivalent
 from repro.data import OmimGenerator, omim_key_spec
 from repro.storage import ChunkedArchiver, ExternalArchiver, PersistentIngestor
 
