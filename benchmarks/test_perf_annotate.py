@@ -25,10 +25,16 @@ def test_annotate_cost_linear_in_nodes(once):
         timings = {}
         for records in (40, 160):
             document = OmimGenerator(seed=2, initial_records=records).initial_version()
-            start = time.perf_counter()
-            for _ in range(3):
+            # Best of several runs: the minimum is the standard
+            # noise-robust estimator, so a GC pause or scheduler blip in
+            # one run (common late in a long pytest process) cannot skew
+            # the ratio the assertion checks.
+            best = float("inf")
+            for _ in range(5):
+                start = time.perf_counter()
                 annotate_keys(document, spec)
-            timings[records] = time.perf_counter() - start
+                best = min(best, time.perf_counter() - start)
+            timings[records] = best
         return timings[160] / timings[40]
 
     ratio = once(measure)

@@ -1,0 +1,155 @@
+"""QUERY-PUSHDOWN — the facade's planned evaluation vs snapshot XPath.
+
+The acceptance bar of the query subsystem: on a sparse workload — a
+keyed query over an early, small version of a heavily accreted archive
+— the planned path (key lookups through the sorted child lists, version
+scoping through the timestamp trees) must visit **at most one third**
+of the nodes the materialize-then-xpath baseline touches, while
+returning byte-identical answers.  The baseline's node count is the
+materialized snapshot itself: reconstructing it is the work the planner
+exists to avoid.
+
+Wall-clock timings for both paths are also collected so the committed
+``BENCH_query.json`` summary tracks the pushdown win over time.
+"""
+
+from conftest import publish
+
+import repro
+from repro.core import Archive
+from repro.data import OmimChangeRates, OmimGenerator, omim_key_spec
+from repro.query.exec import node_count
+from repro.xmltree import to_string
+from repro.xmltree.xpath import evaluate
+
+#: Accretive growth: version 1 is small, the archive keeps gaining
+#: records, so early-version queries are sparse against the full tree.
+def _accreted_archive() -> Archive:
+    generator = OmimGenerator(
+        seed=6,
+        initial_records=6,
+        rates=OmimChangeRates(
+            delete_fraction=0.0, insert_fraction=0.6, modify_fraction=0.0
+        ),
+    )
+    archive = Archive(omim_key_spec())
+    for version in generator.generate_versions(12):
+        archive.add_version(version)
+    return archive
+
+
+def _sparse_query(archive: Archive) -> str:
+    """A keyed lookup for a record that already exists at version 1."""
+    first = archive.retrieve(1)
+    num = first.find_all("Record")[0].find("Num").text_content()
+    return f"/ROOT/Record[Num='{num}']/Text/text()"
+
+
+def _materialize_then_xpath(archive: Archive, version: int, expression: str):
+    snapshot = archive.retrieve(version)
+    return evaluate(snapshot, expression).items, node_count(snapshot)
+
+
+def test_planned_query_beats_materialize(once, results_dir):
+    archive = _accreted_archive()
+    db = repro.open(archive)
+    expression = _sparse_query(archive)
+
+    def measure():
+        rows = []
+        for version in (1, archive.last_version):
+            expected, baseline_nodes = _materialize_then_xpath(
+                archive, version, expression
+            )
+            result = db.at(version).select(expression)
+            got = result.all()
+            assert [str(item) for item in got] == [str(item) for item in expected]
+            rows.append(
+                (version, result.stats.nodes_visited(), baseline_nodes,
+                 result.stats.index_lookups, result.stats.fallback)
+            )
+        return rows
+
+    rows = once(measure)
+    text = "\n".join(
+        f"version {version}: planned visits {planned}, "
+        f"materialize-then-xpath {baseline} "
+        f"({lookups} index lookups, fallback={fallback})"
+        for version, planned, baseline, lookups, fallback in rows
+    )
+    publish(results_dir, "query_pushdown.txt", text)
+    for version, planned, baseline, lookups, fallback in rows:
+        assert not fallback
+        assert lookups >= 1
+        # The headline acceptance bar: ≤ 1/3 of the baseline's nodes,
+        # at the sparse early version AND at the accreted latest one.
+        assert planned * 3 <= baseline, (version, planned, baseline)
+
+
+def test_planned_element_results_byte_identical(once):
+    """Element (non-text) results must serialize identically."""
+    archive = _accreted_archive()
+    db = repro.open(archive)
+    first = archive.retrieve(1)
+    num = first.find_all("Record")[0].find("Num").text_content()
+    expression = f"/ROOT/Record[Num='{num}']"
+
+    def measure():
+        for version in (1, archive.last_version):
+            snapshot = archive.retrieve(version)
+            expected = evaluate(snapshot, expression).elements
+            got = db.at(version).select(expression).all()
+            assert [to_string(e) for e in got] == [to_string(e) for e in expected]
+        return True
+
+    assert once(measure)
+
+
+def test_query_planned(benchmark):
+    archive = _accreted_archive()
+    db = repro.open(archive)
+    expression = _sparse_query(archive)
+    db.at(1).select(expression).all()  # warm the lazy timestamp trees
+    result = benchmark(lambda: db.at(1).select(expression).all())
+    assert result
+
+
+def test_query_materialize_then_xpath(benchmark):
+    archive = _accreted_archive()
+    expression = _sparse_query(archive)
+    archive.retrieve(1)  # warm the lazy timestamp trees
+
+    def baseline():
+        snapshot = archive.retrieve(1)
+        return evaluate(snapshot, expression).items
+
+    assert benchmark(baseline)
+
+
+def test_query_planned_persistent(benchmark, tmp_path):
+    """The pushdown survives the storage layer (chunked backend)."""
+    generator = OmimGenerator(
+        seed=6,
+        initial_records=6,
+        rates=OmimChangeRates(
+            delete_fraction=0.0, insert_fraction=0.6, modify_fraction=0.0
+        ),
+    )
+    from repro.storage import create_archive
+    from repro.data.omim import OMIM_KEY_TEXT
+
+    store = create_archive(
+        str(tmp_path / "omim"), OMIM_KEY_TEXT, kind="chunked", chunk_count=4
+    )
+    store.ingest_batch(generator.generate_versions(12))
+    db = store.db()
+    expression = _sparse_query_for_backend(store)
+    result = benchmark(lambda: db.at(1).select(expression).all())
+    assert result
+    store.close()
+
+
+def _sparse_query_for_backend(store) -> str:
+    first = store.retrieve(1)
+    num = first.find_all("Record")[0].find("Num").text_content()
+    return f"/ROOT/Record[Num='{num}']/Text/text()"

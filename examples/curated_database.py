@@ -7,10 +7,11 @@ Run with::
 Generates an OMIM-like database — heavily accretive, frequently
 published — archives a stretch of versions, and contrasts the storage
 cost with the delta-based alternatives.  Then answers the temporal
-questions the paper motivates: when did an observation first appear,
-and when was it last changed?
+questions the paper motivates through the ``repro.open(...)`` facade:
+when did an observation first appear, and when was it last changed?
 """
 
+import repro
 from repro.compress import gzip_pieces_size
 from repro.compress.xmill import compressed_text_size
 from repro.core import Archive
@@ -42,33 +43,48 @@ def main() -> None:
     print(f"gzip(V1 + inc diffs):      {gzip_pieces_size(incremental.pieces()):>9} bytes")
     print(f"xmill(archive):            {compressed_text_size(archive_text):>9} bytes")
 
-    print("\n=== temporal queries ===")
+    print("\n=== temporal queries (the ArchiveDB facade) ===")
+    db = repro.open(archive)
+
     # When did the newest record first appear?
     records = last.find_all("Record")
     newest = records[-1].find("Num").text_content()
-    history = archive.history(f"/ROOT/Record[Num={newest}]")
     print(
         f"record {newest} first appeared in version "
-        f"{history.existence.min_version()}"
+        f"{db.first_appearance(f'/ROOT/Record[Num={newest}]')}"
     )
 
     # When was some record's free text last changed?
     for record in records:
         num = record.find("Num").text_content()
-        text_history = archive.history(f"/ROOT/Record[Num={num}]/Text")
+        text_history = db.history(f"/ROOT/Record[Num={num}]/Text")
         if text_history.changes and len(text_history.changes) > 1:
-            last_change = text_history.changes[-1][0].min_version()
             print(
                 f"record {num}'s Text was modified "
                 f"{len(text_history.changes) - 1} time(s); "
-                f"current text dates from version {last_change}"
+                f"current text dates from version "
+                f"{db.last_change(f'/ROOT/Record[Num={num}]/Text')}"
             )
             break
     else:
         print("no record text was modified in this run")
 
+    # A planned XPath query materializes only what it selects: the
+    # key-equality predicate routes through the sorted child index.
+    result = db.at(db.last_version).select(f"/ROOT/Record[Num='{newest}']/Text/text()")
+    text = result.first() or ""
+    print(
+        f"record {newest}'s text today ({len(text)} chars) — planned query "
+        f"visited {result.stats.nodes_visited()} nodes, "
+        f"{result.stats.index_lookups} index lookups"
+    )
+
+    # What happened between two published versions?
+    added = [c for c in db.between(5, 10).changes() if c.kind == "added"]
+    print(f"versions 5 -> 10 added {len(added)} records")
+
     # Retrieval of an old version is a single scan of the archive.
-    version_5 = archive.retrieve(5)
+    version_5 = db.at(5).snapshot()
     print(
         f"\nretrieved version 5: {len(version_5.find_all('Record'))} records, "
         f"{serialized_size(version_5)} bytes"

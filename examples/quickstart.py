@@ -5,14 +5,17 @@ Run with::
     python examples/quickstart.py
 
 Demonstrates the whole pipeline on the running example of the paper:
-define keys, merge four versions into one archive, retrieve a past
-version, query an element's temporal history, and look at the archive's
-own XML representation.
+define keys, merge four versions into one archive, then query it
+through the ``repro.open(...)`` facade — retrieve a past version,
+evaluate temporal XPath with predicate pushdown, stream the changes
+between two versions, query an element's temporal history — and look
+at the archive's own XML representation.
 """
 
+import repro
 from repro.core import Archive
 from repro.keys import parse_key_spec
-from repro.xmltree import parse_document, to_pretty_string
+from repro.xmltree import parse_document, to_pretty_string, to_string
 
 # 1. Keys (Sec. 3): departments are identified by name, employees by
 #    (first name, last name) within their department, telephone numbers
@@ -54,13 +57,32 @@ def main() -> None:
             f"{stats.frontier_content_changes}"
         )
 
-    print("\n=== retrieve version 3 ===")
-    print(to_pretty_string(archive.retrieve(3), indent="  "))
+    # The facade: one queryable surface (works over paths and open
+    # storage backends too — ``repro.open("archive.xml")``).
+    db = repro.open(archive)
 
-    print("=== temporal history (Sec. 7.2) ===")
-    doe = archive.history("/db/dept[name=finance]/emp[fn=John, ln=Doe]")
+    print("\n=== retrieve version 3 ===")
+    print(to_pretty_string(db.at(3).snapshot(), indent="  "))
+
+    print("=== temporal XPath (planned, index-aware) ===")
+    for emp in db.at(3).select("/db/dept[name='finance']/emp"):
+        print(f"  finance employee at v3: {to_string(emp)}")
+    for tel in db.at(4).select("//tel/text()"):
+        print(f"  telephone at v4: {tel}")
+    print("  plan:", db.explain("/db/dept[name='finance']/emp")[2].strip())
+
+    print("\n=== what changed between versions 3 and 4? ===")
+    for change in db.between(3, 4).changes():
+        print(f"  {change}")
+
+    print("\n=== temporal history (Sec. 7.2) ===")
+    doe = db.history("/db/dept[name=finance]/emp[fn=John, ln=Doe]")
     print(f"John Doe (finance) exists at versions: {doe.existence.to_text()}")
-    salary = archive.history("/db/dept[name=finance]/emp[fn=John, ln=Doe]/sal")
+    print(
+        "first appeared in version "
+        f"{db.first_appearance('/db/dept[name=finance]/emp[fn=John, ln=Doe]')}"
+    )
+    salary = db.history("/db/dept[name=finance]/emp[fn=John, ln=Doe]/sal")
     for timestamps, content in salary.changes:
         print(f"  salary was {content!r} during versions {timestamps.to_text()}")
 

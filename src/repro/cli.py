@@ -7,6 +7,8 @@ A downstream curator's workflow over plain files::
     xarch add   archive.xml version1.xml           # merge a version
     xarch ingest archive.xml snapshots/ --keys keys.txt   # batch a directory
     xarch get   archive.xml 3 -o v3.xml            # retrieve version 3
+    xarch query archive.xml "//emp[fn='John']" --at 3   # planned XPath
+    xarch query archive.xml /db --between 2 5      # change stream
     xarch log   archive.xml '/db/dept[name=finance]/emp[fn=John, ln=Doe]'
     xarch diff  archive.xml 2 5                    # semantic change report
     xarch stats archive.xml                        # size/shape counters
@@ -206,6 +208,62 @@ def cmd_get(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """Planned temporal XPath through the :class:`ArchiveDB` facade."""
+    from .xmltree.serializer import to_string
+
+    backend = _open(args)
+    db = backend.db()
+    if args.explain:
+        print("\n".join(db.explain(args.xpath)))
+        return 0
+    if args.between is not None:
+        from_version, to_version = args.between
+        prefix = None if args.xpath in ("/", "") else args.xpath
+        count = 0
+        for change in db.between(from_version, to_version).changes(prefix):
+            print(change)
+            count += 1
+        if count == 0:
+            print(
+                f"no changes between versions {from_version} and {to_version}"
+                + (f" under {prefix}" if prefix else ""),
+                file=sys.stderr,
+            )
+        if args.stats:
+            print(
+                f"{count} change(s) between versions {from_version} and "
+                f"{to_version} (timestamp-tree-guided diff walk)",
+                file=sys.stderr,
+            )
+        return 0
+    version = args.at if args.at is not None else backend.last_version
+    result = db.at(version).select(args.xpath)
+    count = 0
+    for item in result:
+        print(item if isinstance(item, str) else to_string(item))
+        count += 1
+    if args.stats:
+        stats = result.stats
+        how = (
+            f"snapshot fallback ({stats.fallback_reason})"
+            if stats.fallback
+            else "planned over the archive tree"
+        )
+        print(
+            f"{count} result(s) at version {version}: {how}; "
+            f"visited {stats.nodes_visited()} nodes "
+            f"({stats.archive_nodes_visited} archive, {stats.tree_probes} "
+            f"tree probes, {stats.nodes_materialized} materialized, "
+            f"{stats.events_skipped} stream events drained), "
+            f"{stats.index_lookups} index lookups, "
+            f"{stats.chunks_pruned} chunks pruned, "
+            f"{stats.chunks_routed_past} routed past",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_log(args: argparse.Namespace) -> int:
     backend = _open(args)
     history = backend.history(args.path)
@@ -318,6 +376,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_get.add_argument("--keys")
     p_get.set_defaults(func=cmd_get)
+
+    p_query = sub.add_parser(
+        "query",
+        help="temporal XPath over the archive (planned, index-aware)",
+    )
+    p_query.add_argument("archive")
+    p_query.add_argument(
+        "xpath",
+        help="XPath expression; with --between, a key-path prefix "
+        "filtering the change stream ('/' for all changes)",
+    )
+    scope = p_query.add_mutually_exclusive_group()
+    scope.add_argument(
+        "--at",
+        type=int,
+        metavar="V",
+        help="version to query (default: the latest)",
+    )
+    scope.add_argument(
+        "--between",
+        nargs=2,
+        type=int,
+        metavar=("FROM", "TO"),
+        help="stream element-level changes between two versions",
+    )
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the compiled plan instead of running it",
+    )
+    p_query.add_argument(
+        "--stats",
+        action="store_true",
+        help="report planner/pushdown work accounting on stderr",
+    )
+    p_query.add_argument("--keys")
+    p_query.set_defaults(func=cmd_query)
 
     p_log = sub.add_parser("log", help="temporal history of a keyed element")
     p_log.add_argument("archive")

@@ -80,6 +80,19 @@ class ArchiveError(ValueError):
     """Raised on malformed archives or unusable queries."""
 
 
+def missing_element_error(label, path: str) -> ArchiveError:
+    """The error every read surface raises for a path that never existed.
+
+    All backends (in-memory, chunked, external stream) and the key index
+    raise this same message shape, so callers and tests can rely on one
+    wording — "when did X first appear" on a non-existent X is a clear
+    :class:`ArchiveError`, never a bare ``KeyError`` or assert.
+    """
+    return ArchiveError(
+        f"No element {label} in the archive: {path!r} never existed"
+    )
+
+
 @dataclass
 class ArchiveOptions:
     """Behavioural switches of the archiver.
@@ -394,6 +407,29 @@ class Archive:
                 element.append(rebuilt)
         return element
 
+    def reconstruct_node(
+        self,
+        node: ArchiveNode,
+        version: int,
+        inherited: VersionSet,
+        *,
+        copy_content: bool = False,
+        probes: Optional[ProbeCount] = None,
+    ) -> Optional[Element]:
+        """Materialize one archive subtree at ``version``, tree-guided.
+
+        The public entry the query executor uses to materialize only the
+        nodes a plan selects (instead of the whole snapshot
+        :meth:`retrieve` builds).  ``inherited`` is the timestamp the
+        node's parent resolves to; returns ``None`` when the node is not
+        alive at ``version``.  Content is shared copy-on-write like
+        :meth:`retrieve` unless ``copy_content=True``.
+        """
+        return self._reconstruct(
+            node, version, inherited, guided=True,
+            copy_content=copy_content, probes=probes,
+        )
+
     def scan_probe_count(self, version: int) -> int:
         """Membership probes a scan-all-children retrieval makes — the
         baseline the timestamp trees are measured against."""
@@ -453,9 +489,7 @@ class Archive:
             label = KeyLabel(tag=tag, key=key_value)
             child = self.find_child(node, label)
             if child is None:
-                raise ArchiveError(
-                    f"No element {label} in the archive under {node.label}"
-                )
+                raise missing_element_error(label, path)
             inherited = child.effective_timestamp(inherited)
             node = child
         return ElementHistory(

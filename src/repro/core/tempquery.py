@@ -183,19 +183,39 @@ def keyed_diff(
     return report
 
 def first_appearance(archive: Archive, path: str) -> int:
-    """The version in which the element at ``path`` first existed."""
-    return archive.history(path).existence.min_version()
+    """The version in which the element at ``path`` first existed.
+
+    .. deprecated:: use ``repro.open(archive).first_appearance(path)``
+       — this is now a thin shim over the :class:`ArchiveDB` facade,
+       which answers through the key index and raises a clear
+       :class:`ArchiveError` for paths that never existed.
+    """
+    import warnings
+
+    warnings.warn(
+        "tempquery.first_appearance is deprecated; use "
+        "repro.open(...).first_appearance(path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..query.db import ArchiveDB  # local: the facade builds on core
+
+    return ArchiveDB(archive).first_appearance(path)
 
 def last_change(archive: Archive, path: str) -> int:
     """The version in which the element's content last changed.
 
-    For frontier elements this is the start of the current content's
-    reign; for internal elements, the latest version in which any
-    descendant changed or (dis)appeared — computed from the element's
-    own existence when no finer information applies.
+    .. deprecated:: use ``repro.open(archive).last_change(path)`` —
+       this is now a thin shim over the :class:`ArchiveDB` facade.
     """
-    history = archive.history(path)
-    if history.changes and len(history.changes) >= 1:
-        current = history.changes[-1][0]
-        return current.min_version()
-    return history.existence.min_version()
+    import warnings
+
+    warnings.warn(
+        "tempquery.last_change is deprecated; use "
+        "repro.open(...).last_change(path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..query.db import ArchiveDB  # local: the facade builds on core
+
+    return ArchiveDB(archive).last_change(path)

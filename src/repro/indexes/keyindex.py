@@ -14,7 +14,13 @@ import bisect
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.archive import Archive, ArchiveError, ElementHistory, _parse_history_path
+from ..core.archive import (
+    Archive,
+    ArchiveError,
+    ElementHistory,
+    _parse_history_path,
+    missing_element_error,
+)
 from ..core.nodes import ArchiveNode
 from ..core.versionset import VersionSet
 from ..keys.annotate import KeyLabel
@@ -126,11 +132,12 @@ class KeyIndex:
         current = self._root_list
         record: Optional[IndexRecord] = None
         for tag, key_value in steps:
+            label = KeyLabel(tag=tag, key=key_value)
             if current is None:
-                raise ArchiveError(f"No element {tag} beneath {path!r}")
-            record = current.find(KeyLabel(tag=tag, key=key_value), comparisons)
+                raise missing_element_error(label, path)
+            record = current.find(label, comparisons)
             if record is None:
-                raise ArchiveError(f"Element {tag}{dict(key_value)} not in archive")
+                raise missing_element_error(label, path)
             current = record.child_list
         assert record is not None
         return record.timestamp.copy(), comparisons[0]

@@ -1,0 +1,23 @@
+"""The query subsystem: one planned, index-aware surface (Sec. 7 + 8).
+
+``repro.open(path)`` (or :func:`open_db` here) returns an
+:class:`ArchiveDB` over any storage backend; queries compile to plans
+(:mod:`~repro.query.plan`) that evaluate over the archive tree itself
+(:mod:`~repro.query.exec`) and stream typed results
+(:mod:`~repro.query.result`).
+"""
+
+from .db import ArchiveDB, RangeScope, VersionScope, open_db
+from .plan import QueryPlan, compile_plan
+from .result import QueryResult, QueryStats
+
+__all__ = [
+    "ArchiveDB",
+    "QueryPlan",
+    "QueryResult",
+    "QueryStats",
+    "RangeScope",
+    "VersionScope",
+    "compile_plan",
+    "open_db",
+]

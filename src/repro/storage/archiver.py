@@ -31,6 +31,7 @@ from ..core.archive import (
     ElementHistory,
     ROOT_TAG,
     _parse_history_path,
+    missing_element_error,
 )
 from ..core.merge import MergeStats
 from ..core.nodes import ArchiveNode
@@ -298,13 +299,13 @@ class ExternalArchiver(StorageBackend):
                         elif isinstance(skipped, ExitEvent):
                             depth -= 1
             if found is None:
-                raise ArchiveError(
-                    f"No element {KeyLabel(tag=tag, key=key_value)} "
-                    f"in the archive at {path!r}"
+                raise missing_element_error(
+                    KeyLabel(tag=tag, key=key_value), path
                 )
             if position < len(steps) - 1 and not isinstance(found, NodeEvent):
-                raise ArchiveError(
-                    f"No element beneath frontier {tag} in {path!r}"
+                raise missing_element_error(
+                    KeyLabel(tag=steps[position + 1][0], key=steps[position + 1][1]),
+                    path,
                 )
         changes = None
         if isinstance(found, FrontierEvent):

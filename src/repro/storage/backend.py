@@ -209,6 +209,14 @@ class StorageBackend(abc.ABC):
         archive-creation time."""
         atomic_write_text(self.manifest_path(), self.manifest().to_json())
 
+    def db(self):
+        """An :class:`~repro.query.db.ArchiveDB` facade over this
+        backend — the planned, index-aware query surface (temporal
+        XPath, change streams, history) every backend shares."""
+        from ..query.db import ArchiveDB  # local: query builds on storage
+
+        return ArchiveDB(self)
+
     def close(self) -> None:
         """Release resources; the archive stays durable on disk."""
 

@@ -242,6 +242,17 @@ class ChunkedArchiver(StorageBackend):
 
     # -- partitioning --------------------------------------------------------------
 
+    def chunk_index_for_label(self, label) -> int:
+        """The chunk a top-level record with this key label hashes to.
+
+        The routing function of the partition scheme, exposed so keyed
+        point queries (the facade's partition-level key lookups) can
+        open only the owning chunk instead of fanning out to all of
+        them.
+        """
+        digest = hashlib.sha256(str(label).encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self.chunk_count
+
     def _chunk_of(self, record: Element, annotated) -> int:
         label = annotated.label(record)
         if label is None:
@@ -249,8 +260,7 @@ class ChunkedArchiver(StorageBackend):
                 f"Top-level record <{record.tag}> is unkeyed; chunking "
                 f"requires keyed records"
             )
-        digest = hashlib.sha256(str(label).encode("utf-8")).digest()
-        return int.from_bytes(digest[:4], "big") % self.chunk_count
+        return self.chunk_index_for_label(label)
 
     def _partition(self, document: Element) -> dict[int, Element]:
         annotated = annotate_keys(document, self.spec)

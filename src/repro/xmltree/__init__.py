@@ -14,7 +14,7 @@ from .serializer import (
     to_string,
     write_file,
 )
-from .xpath import XPathError, xpath, xpath_first
+from .xpath import XPathError, XPathResult, evaluate, xpath, xpath_first
 from .value import (
     compare_values,
     sort_by_value,
@@ -30,6 +30,8 @@ __all__ = [
     "Text",
     "XMLSyntaxError",
     "XPathError",
+    "XPathResult",
+    "evaluate",
     "xpath",
     "xpath_first",
     "canonical_form",

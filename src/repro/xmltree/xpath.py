@@ -16,28 +16,84 @@ users actually write:
 * ``text()`` final step    — string values instead of nodes.
 
 Predicates may be chained (``emp[fn='John'][ln='Doe']``).
+
+Expressions parse into structured :class:`Step` and :class:`Predicate`
+values rather than opaque closures, so other evaluators — notably the
+query planner of :mod:`repro.query.plan`, which pushes key-equality
+predicates down into the archive tree — can inspect what a step tests
+without re-parsing.  :func:`evaluate` is the primary entry point and
+returns a typed :class:`XPathResult`; :func:`xpath` is the original
+callable, kept as a shim returning the bare list.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Union
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
 
 from .model import Element
+
+#: Predicate kinds (the supported XPath fragment).
+POSITION = "position"  # [2] — 1-based position among the step's candidates
+ATTRIBUTE = "attribute"  # [@id='x'] — attribute equality
+CHILD_VALUE = "child"  # [name='x'] — child element text equality
+TEXT_VALUE = "text"  # [text()='x'] — own text equality
 
 
 class XPathError(ValueError):
     """Raised on unsupported or malformed expressions."""
 
 
-Predicate = Callable[[Element, int], bool]
+@dataclass(frozen=True)
+class Predicate:
+    """One structured predicate of a step.
+
+    ``kind`` is one of :data:`POSITION`, :data:`ATTRIBUTE`,
+    :data:`CHILD_VALUE`, :data:`TEXT_VALUE`; ``name`` carries the
+    attribute or child tag being tested (``None`` otherwise);
+    ``position``/``value`` carry the compared constant.
+    """
+
+    kind: str
+    name: str | None = None
+    value: str = ""
+    position: int = 0
+
+    def matches(self, node: Element, index: int) -> bool:
+        if self.kind == POSITION:
+            return index == self.position
+        if self.kind == ATTRIBUTE:
+            assert self.name is not None
+            return node.get_attribute(self.name) == self.value
+        if self.kind == TEXT_VALUE:
+            return node.text_content() == self.value
+        assert self.kind == CHILD_VALUE and self.name is not None
+        return any(
+            child.text_content() == self.value
+            for child in node.find_all(self.name)
+        )
+
+    def __str__(self) -> str:
+        if self.kind == POSITION:
+            return f"[{self.position}]"
+        if self.kind == ATTRIBUTE:
+            return f"[@{self.name}={self.value!r}]"
+        if self.kind == TEXT_VALUE:
+            return f"[text()={self.value!r}]"
+        return f"[{self.name}={self.value!r}]"
 
 
-@dataclass
-class _Step:
+@dataclass(frozen=True)
+class Step:
+    """One location step: an axis, a name test and its predicates."""
+
     axis: str  # 'child' or 'descendant'
     name: str  # tag name, '*' or 'text()'
-    predicates: list[Predicate]
+    predicates: tuple[Predicate, ...] = field(default=())
+
+    def __str__(self) -> str:
+        prefix = "//" if self.axis == "descendant" else "/"
+        return prefix + self.name + "".join(str(p) for p in self.predicates)
 
 
 def _parse_predicate(text: str) -> Predicate:
@@ -46,7 +102,7 @@ def _parse_predicate(text: str) -> Predicate:
         position = int(body)
         if position < 1:
             raise XPathError(f"Positional predicate must be >= 1: [{body}]")
-        return lambda node, index: index == position
+        return Predicate(kind=POSITION, position=position)
     if "=" not in body:
         raise XPathError(f"Unsupported predicate [{body}]")
     left, right = body.split("=", 1)
@@ -59,19 +115,16 @@ def _parse_predicate(text: str) -> Predicate:
         raise XPathError(f"Predicate value must be quoted: [{body}]")
     value = right[1:-1]
     if left.startswith("@"):
-        name = left[1:]
-        return lambda node, index: node.get_attribute(name) == value
+        return Predicate(kind=ATTRIBUTE, name=left[1:], value=value)
     if left == "text()":
-        return lambda node, index: node.text_content() == value
-    return lambda node, index: any(
-        child.text_content() == value for child in node.find_all(left)
-    )
+        return Predicate(kind=TEXT_VALUE, value=value)
+    return Predicate(kind=CHILD_VALUE, name=left, value=value)
 
 
-def _split_predicates(step_text: str) -> tuple[str, list[Predicate]]:
+def _split_predicates(step_text: str) -> tuple[str, tuple[Predicate, ...]]:
     name_end = step_text.find("[")
     if name_end == -1:
-        return step_text, []
+        return step_text, ()
     name = step_text[:name_end]
     predicates: list[Predicate] = []
     rest = step_text[name_end:]
@@ -90,14 +143,19 @@ def _split_predicates(step_text: str) -> tuple[str, list[Predicate]]:
                     break
         else:
             raise XPathError(f"Unbalanced predicate in step {step_text!r}")
-    return name, predicates
+    return name, tuple(predicates)
 
 
-def _parse(expression: str) -> list[_Step]:
+def parse_steps(expression: str) -> list[Step]:
+    """Parse an expression into its location steps.
+
+    Shared by :func:`evaluate` and the query planner; raises
+    :class:`XPathError` on relative paths or malformed steps.
+    """
     text = expression.strip()
     if not text.startswith("/"):
         raise XPathError(f"Only absolute paths are supported: {expression!r}")
-    steps: list[_Step] = []
+    steps: list[Step] = []
     index = 0
     length = len(text)
     while index < length:
@@ -124,15 +182,31 @@ def _parse(expression: str) -> list[_Step]:
         if not step_text:
             raise XPathError(f"Empty step in {expression!r}")
         name, predicates = _split_predicates(step_text)
-        steps.append(_Step(axis=axis, name=name, predicates=predicates))
+        steps.append(Step(axis=axis, name=name, predicates=predicates))
     return steps
 
 
-def _match_name(node: Element, name: str) -> bool:
+def match_name(node: Element, name: str) -> bool:
+    """The name test of a step (``*`` matches every element)."""
     return name == "*" or node.tag == name
 
 
-def _apply_step(nodes: list[Element], step: _Step) -> list[Element]:
+def apply_steps(contexts: list[Element], steps: Sequence[Step]) -> list[Element]:
+    """Apply location steps to a list of context elements.
+
+    The building block of :func:`evaluate`, exposed so the archive
+    query executor can delegate sub-expressions to the element world
+    (e.g. below the frontier, where the archive stores plain content).
+    Results are deduplicated in first-occurrence order, as descendant
+    axes over nested contexts can reach the same node twice.
+    """
+    current = contexts
+    for step in steps:
+        current = _apply_step(current, step)
+    return current
+
+
+def _apply_step(nodes: list[Element], step: Step) -> list[Element]:
     # Gather candidates per context node so positional predicates see
     # sibling-relative positions, then filter.
     results: list[Element] = []
@@ -142,68 +216,168 @@ def _apply_step(nodes: list[Element], step: _Step) -> list[Element]:
             candidates = [
                 child
                 for child in context.element_children()
-                if _match_name(child, step.name)
+                if match_name(child, step.name)
             ]
         else:
             candidates = [
                 node
                 for node in context.iter_elements()
-                if _match_name(node, step.name)
+                if match_name(node, step.name)
             ]
         position = 0
         for candidate in candidates:
             position += 1
-            if all(pred(candidate, position) for pred in step.predicates):
+            if all(pred.matches(candidate, position) for pred in step.predicates):
                 if id(candidate) not in seen:
                     seen.add(id(candidate))
                     results.append(candidate)
     return results
 
 
-def xpath(root: Element, expression: str) -> Union[list[Element], list[str]]:
-    """Evaluate an XPath expression against a document.
+class XPathResult(Sequence):
+    """A typed, sequence-shaped query result.
 
-    The first step must match the document root (as in XPath, where the
-    root element is the single child of the document node).  A final
-    ``text()`` step returns string values; otherwise elements.
+    ``kind`` is ``'elements'`` or ``'strings'`` (the latter for
+    expressions ending in ``text()``).  The class fixes the old
+    ``list[Element] | list[str]`` mixed return type: callers that need
+    one kind ask for :attr:`elements` or :attr:`strings` and get a
+    clear :class:`XPathError` instead of an ``AttributeError`` deep in
+    their own code when the expression returned the other kind.
     """
-    steps = _parse(expression)
+
+    __slots__ = ("items", "kind")
+
+    ELEMENTS = "elements"
+    STRINGS = "strings"
+
+    def __init__(
+        self, items: Union[list[Element], list[str]], kind: str
+    ) -> None:
+        if kind not in (self.ELEMENTS, self.STRINGS):
+            raise XPathError(f"Unknown result kind {kind!r}")
+        self.items = items
+        self.kind = kind
+
+    @property
+    def elements(self) -> list[Element]:
+        """The matched elements; raises unless ``kind == 'elements'``."""
+        if self.kind != self.ELEMENTS:
+            raise XPathError(
+                "Query returned strings (text() step), not elements"
+            )
+        return self.items  # type: ignore[return-value]
+
+    @property
+    def strings(self) -> list[str]:
+        """The matched string values; raises unless ``kind == 'strings'``."""
+        if self.kind != self.STRINGS:
+            raise XPathError("Query returned elements, not strings")
+        return self.items  # type: ignore[return-value]
+
+    def first(self):
+        """The first item, or ``None`` when the result is empty."""
+        return self.items[0] if self.items else None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def __iter__(self) -> Iterator:
+        return iter(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, XPathResult):
+            return self.kind == other.kind and self.items == other.items
+        if isinstance(other, list):
+            return self.items == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"XPathResult(kind={self.kind!r}, items={self.items!r})"
+
+
+def split_text_step(steps: list[Step]) -> tuple[list[Step], bool]:
+    """Strip a final ``text()`` step, validating its shape.
+
+    Returns ``(element_steps, want_text)``; shared with the planner so
+    both evaluators agree on what a trailing ``text()`` may look like.
+    """
     if not steps:
         raise XPathError("Empty expression")
-    want_text = steps and steps[-1].name == "text()"
-    if want_text:
-        text_step = steps.pop()
-        if text_step.predicates:
-            raise XPathError("text() takes no predicates")
-        if text_step.axis != "child":
-            raise XPathError("text() must be a child step")
-    if not steps:
+    want_text = steps[-1].name == "text()"
+    if not want_text:
+        return steps, False
+    text_step = steps[-1]
+    if text_step.predicates:
+        raise XPathError("text() takes no predicates")
+    if text_step.axis != "child":
+        raise XPathError("text() must be a child step")
+    remaining = steps[:-1]
+    if not remaining:
         raise XPathError("text() needs a preceding element step")
+    return remaining, True
 
+
+def evaluate_steps(root: Element, steps: Sequence[Step]) -> list[Element]:
+    """Evaluate parsed element steps against a document root.
+
+    The first step must match the document root (as in XPath, where the
+    root element is the single child of the document node); the
+    planner's snapshot fallback uses this to run a compiled plan's raw
+    steps over a materialized snapshot.
+    """
+    if not steps:
+        raise XPathError("Empty expression")
     first = steps[0]
     if first.axis == "child":
         current = (
             [root]
-            if _match_name(root, first.name)
-            and all(pred(root, 1) for pred in first.predicates)
+            if match_name(root, first.name)
+            and all(pred.matches(root, 1) for pred in first.predicates)
             else []
         )
     else:
-        current = _apply_step([_virtual_root(root)], first)
-    for step in steps[1:]:
-        current = _apply_step(current, step)
+        current = _apply_step([virtual_shell(root)], first)
+    return apply_steps(current, steps[1:])
+
+
+def evaluate(root: Element, expression: str) -> XPathResult:
+    """Evaluate an XPath expression against a document.
+
+    The first step must match the document root (as in XPath, where the
+    root element is the single child of the document node).  A final
+    ``text()`` step yields a string result; otherwise elements.
+    """
+    steps, want_text = split_text_step(parse_steps(expression))
+    current = evaluate_steps(root, steps)
     if want_text:
-        return [node.text_content() for node in current]
-    return current
+        return XPathResult([node.text_content() for node in current], XPathResult.STRINGS)
+    return XPathResult(current, XPathResult.ELEMENTS)
 
 
-def _virtual_root(root: Element) -> Element:
+def virtual_shell(root: Element) -> Element:
+    """A throwaway document node above ``root``.
+
+    Makes descendant-or-self axes include the root itself without
+    re-parenting it (the shell bypasses :meth:`Element.append`).
+    """
     shell = Element("#document")
     shell.children = [root]  # no re-parenting; shell is throwaway
     return shell
 
 
+def xpath(root: Element, expression: str) -> Union[list[Element], list[str]]:
+    """Backward-compatible shim over :func:`evaluate`.
+
+    Returns the bare item list with the historical mixed
+    ``list[Element] | list[str]`` type; new code should call
+    :func:`evaluate` and use the typed :class:`XPathResult`.
+    """
+    return evaluate(root, expression).items
+
+
 def xpath_first(root: Element, expression: str):
     """First result of :func:`xpath`, or ``None``."""
-    results = xpath(root, expression)
-    return results[0] if results else None
+    return evaluate(root, expression).first()

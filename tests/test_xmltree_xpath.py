@@ -5,7 +5,17 @@ import pytest
 from repro.core import Archive
 from repro.data.company import company_key_spec, company_versions
 from repro.xmltree import parse_document
-from repro.xmltree.xpath import XPathError, xpath, xpath_first
+from repro.xmltree.xpath import (
+    ATTRIBUTE,
+    CHILD_VALUE,
+    POSITION,
+    XPathError,
+    XPathResult,
+    evaluate,
+    parse_steps,
+    xpath,
+    xpath_first,
+)
 
 DOC = parse_document(
     "<db>"
@@ -86,6 +96,61 @@ class TestErrors:
     def test_rejected(self, expression):
         with pytest.raises(XPathError):
             xpath(DOC, expression)
+
+
+class TestTypedResults:
+    """The XPathResult wrapper fixes the mixed list return type."""
+
+    def test_element_result(self):
+        result = evaluate(DOC, "/db/dept")
+        assert isinstance(result, XPathResult)
+        assert result.kind == XPathResult.ELEMENTS
+        assert len(result.elements) == 2
+        with pytest.raises(XPathError):
+            result.strings
+
+    def test_string_result(self):
+        result = evaluate(DOC, "/db/dept/name/text()")
+        assert result.kind == XPathResult.STRINGS
+        assert result.strings == ["finance", "marketing"]
+        with pytest.raises(XPathError):
+            result.elements
+
+    def test_sequence_protocol(self):
+        result = evaluate(DOC, "/db/dept/emp")
+        assert len(result) == 3
+        assert result[0].tag == "emp"
+        assert [node.tag for node in result] == ["emp", "emp", "emp"]
+        assert result.first() is result[0]
+        assert evaluate(DOC, "/db/zzz").first() is None
+
+    def test_equality_with_lists(self):
+        result = evaluate(DOC, "/db/dept/name/text()")
+        assert result == ["finance", "marketing"]
+        assert result == evaluate(DOC, "/db/dept/name/text()")
+
+    def test_shim_returns_bare_list(self):
+        assert isinstance(xpath(DOC, "/db/dept"), list)
+        assert xpath(DOC, "/db/dept") == evaluate(DOC, "/db/dept").items
+
+
+class TestStructuredSteps:
+    """Steps and predicates parse into inspectable structures."""
+
+    def test_parse_steps(self):
+        steps = parse_steps("/db/dept[name='x']//emp[2][@id='a'][text()='t']")
+        assert [s.axis for s in steps] == ["child", "child", "descendant"]
+        dept_pred = steps[1].predicates[0]
+        assert dept_pred.kind == CHILD_VALUE
+        assert (dept_pred.name, dept_pred.value) == ("name", "x")
+        kinds = [p.kind for p in steps[2].predicates]
+        assert kinds == [POSITION, ATTRIBUTE, "text"]
+        assert steps[2].predicates[0].position == 2
+
+    def test_steps_render_back(self):
+        steps = parse_steps("/db//emp[fn='John']")
+        assert str(steps[0]) == "/db"
+        assert str(steps[1]).startswith("//emp")
 
 
 class TestQueryingArchives:
