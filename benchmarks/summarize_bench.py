@@ -25,17 +25,20 @@ def summarize(raw: dict) -> dict:
     benchmarks = []
     for entry in raw.get("benchmarks", []):
         stats = entry.get("stats", {})
-        benchmarks.append(
-            {
-                "name": entry.get("name"),
-                "group": entry.get("group"),
-                "min_s": stats.get("min"),
-                "mean_s": stats.get("mean"),
-                "stddev_s": stats.get("stddev"),
-                "rounds": stats.get("rounds"),
-                "ops": stats.get("ops"),
-            }
-        )
+        summary = {
+            "name": entry.get("name"),
+            "group": entry.get("group"),
+            "min_s": stats.get("min"),
+            "mean_s": stats.get("mean"),
+            "stddev_s": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+            "ops": stats.get("ops"),
+        }
+        # Size/ratio measurements benchmarks attach (e.g. the
+        # compression suite's disk_bytes) are part of the trajectory.
+        if entry.get("extra_info"):
+            summary["extra_info"] = entry["extra_info"]
+        benchmarks.append(summary)
     benchmarks.sort(key=lambda item: item["name"] or "")
     return {
         "python": raw.get("machine_info", {}).get("python_version"),

@@ -4,6 +4,7 @@ A downstream curator's workflow over plain files::
 
     xarch init  archive.xml --keys keys.txt        # empty archive
     xarch init  store/ --keys keys.txt --backend chunked   # key-hash chunks
+    xarch init  archive.xml --keys keys.txt --codec xmill  # compressed at rest
     xarch add   archive.xml version1.xml           # merge a version
     xarch ingest archive.xml snapshots/ --keys keys.txt   # batch a directory
     xarch get   archive.xml 3 -o v3.xml            # retrieve version 3
@@ -11,7 +12,8 @@ A downstream curator's workflow over plain files::
     xarch query archive.xml /db --between 2 5      # change stream
     xarch log   archive.xml '/db/dept[name=finance]/emp[fn=John, ln=Doe]'
     xarch diff  archive.xml 2 5                    # semantic change report
-    xarch stats archive.xml                        # size/shape counters
+    xarch stats archive.xml                        # size/shape/codec counters
+    xarch recode archive.xml --codec gzip          # re-encode in place
     xarch mine  v1.xml v2.xml -o keys.txt          # infer a key spec
 
 Every subcommand dispatches through
@@ -43,6 +45,7 @@ from .storage.backend import (
     keys_location,
     open_archive,
 )
+from .storage.codec import CODEC_NAMES
 from .xmltree.parser import parse_file
 from .xmltree.serializer import to_pretty_string
 
@@ -78,11 +81,15 @@ def cmd_init(args: argparse.Namespace) -> int:
             kind=args.backend,
             chunk_count=args.chunks,
             force=args.force,
+            codec=args.codec,
         )
     except ArchiveError as error:
         raise SystemExit(f"xarch: {error}")
     backend.close()
-    print(f"initialized empty {args.backend} archive {args.archive}")
+    print(
+        f"initialized empty {args.backend} archive {args.archive}"
+        + (f" (codec {args.codec})" if args.codec else "")
+    )
     return 0
 
 
@@ -134,6 +141,15 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     files = _collect_version_files(args.sources)
     if os.path.exists(args.archive):
         backend = _open(args)
+        if args.codec is not None and args.codec != backend.codec.name:
+            # Refuse rather than silently ingest into the existing
+            # encoding: the user asked for bytes at rest they would
+            # not get.
+            raise SystemExit(
+                f"xarch: {args.archive!r} already stores codec "
+                f"{backend.codec.name!r}; run 'xarch recode {args.archive} "
+                f"--codec {args.codec}' to change it"
+            )
     else:
         # End-to-end bootstrap: create the archive like ``init`` would.
         if not args.keys:
@@ -148,6 +164,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             kind=args.backend,
             chunk_count=args.chunks,
             options=ArchiveOptions(compaction=args.compaction),
+            codec=args.codec,
         )
     base = backend.last_version
     per_version: dict[int, object] = {}
@@ -287,10 +304,27 @@ def cmd_stats(args: argparse.Namespace) -> int:
     backend = _open(args)
     stats = backend.stats()
     print(f"backend:            {backend.kind}")
+    print(f"codec:              {backend.codec.name}")
     print(f"versions:           {stats.versions}")
     print(f"archive nodes:      {stats.nodes}")
     print(f"stored timestamps:  {stats.stored_timestamps}")
     print(f"serialized bytes:   {stats.serialized_bytes}")
+    print(f"raw bytes:          {stats.raw_bytes}")
+    print(f"disk bytes:         {stats.disk_bytes}")
+    print(f"compression ratio:  {stats.compression_ratio:.2f}x")
+    return 0
+
+
+def cmd_recode(args: argparse.Namespace) -> int:
+    """Rewrite an archive in place under another at-rest codec."""
+    backend = _open(args)
+    try:
+        report = backend.recode(args.codec)
+    except ArchiveError as error:
+        raise SystemExit(f"xarch: {error}")
+    finally:
+        backend.close()
+    print(report)
     return 0
 
 
@@ -322,6 +356,14 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=8,
         help="chunk count for the chunked backend",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=CODEC_NAMES,
+        default=None,
+        help="at-rest compression codec for a newly created archive "
+        "(default raw; existing archives keep their codec — use "
+        "'xarch recode' to change it)",
     )
 
 
@@ -431,6 +473,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("archive")
     p_stats.add_argument("--keys")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_recode = sub.add_parser(
+        "recode",
+        help="rewrite the archive in place under another at-rest codec",
+    )
+    p_recode.add_argument("archive")
+    p_recode.add_argument(
+        "--codec",
+        choices=CODEC_NAMES,
+        required=True,
+        help="target codec (atomic, identity-verified rewrite)",
+    )
+    p_recode.add_argument("--keys")
+    p_recode.set_defaults(func=cmd_recode)
 
     p_mine = sub.add_parser("mine", help="infer a key spec from versions")
     p_mine.add_argument("versions", nargs="+")

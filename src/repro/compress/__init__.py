@@ -7,30 +7,44 @@ structure/container separation implemented in full (round-tripping).
 
 from .gzipper import (
     GZIP_FRAMING_BYTES,
+    GZIP_MAGIC,
     deflate,
+    gzip_compress,
     gzip_concatenated_size,
+    gzip_decompress,
     gzip_pieces_size,
     gzip_size,
     inflate,
 )
 from .xmill import (
+    XMILL_MAGIC,
+    XMillFormatError,
     XMillResult,
     compress,
     compressed_size,
     compressed_text_size,
     decompress,
+    from_bytes,
+    to_bytes,
 )
 
 __all__ = [
     "GZIP_FRAMING_BYTES",
+    "GZIP_MAGIC",
+    "XMILL_MAGIC",
+    "XMillFormatError",
     "XMillResult",
     "compress",
     "compressed_size",
     "compressed_text_size",
     "decompress",
     "deflate",
+    "from_bytes",
+    "gzip_compress",
     "gzip_concatenated_size",
+    "gzip_decompress",
     "gzip_pieces_size",
     "gzip_size",
     "inflate",
+    "to_bytes",
 ]

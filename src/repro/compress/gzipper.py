@@ -1,13 +1,20 @@
-"""gzip-equivalent compression measurement.
+"""gzip-equivalent compression: measurement and real byte streams.
 
 The paper compresses diff repositories with ``gzip -9``.  gzip is the
-DEFLATE algorithm plus an 18-byte header/trailer; we use zlib's deflate
-at level 9 and add the gzip framing overhead so byte counts match what
-``gzip -9`` would report on the same input.
+DEFLATE algorithm plus an 18-byte header/trailer; the *size* helpers use
+zlib's deflate at level 9 and add the gzip framing overhead so byte
+counts match what ``gzip -9`` would report on the same input.
+
+:func:`gzip_compress`/:func:`gzip_decompress` produce and consume actual
+gzip byte streams (deterministic: zeroed mtime, no filename) — the
+storage-grade pair the codec layer (:mod:`repro.storage.codec`) keeps
+archives at rest with.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import zlib
 
 #: gzip framing: 10-byte header + 8-byte trailer (CRC32 + ISIZE).
@@ -22,6 +29,25 @@ def deflate(data: bytes, level: int = 9) -> bytes:
 def inflate(data: bytes) -> bytes:
     """Inverse of :func:`deflate`."""
     return zlib.decompress(data)
+
+
+#: Magic prefix of every gzip member (RFC 1952).
+GZIP_MAGIC = b"\x1f\x8b"
+
+
+def gzip_compress(data: bytes, level: int = 9) -> bytes:
+    """A real gzip stream (deterministic: mtime 0, no filename)."""
+    buffer = io.BytesIO()
+    with gzip.GzipFile(
+        filename="", mode="wb", fileobj=buffer, compresslevel=level, mtime=0
+    ) as handle:
+        handle.write(data)
+    return buffer.getvalue()
+
+
+def gzip_decompress(data: bytes) -> bytes:
+    """Inverse of :func:`gzip_compress` (any gzip stream accepted)."""
+    return gzip.decompress(data)
 
 
 def gzip_size(text: str, level: int = 9) -> int:

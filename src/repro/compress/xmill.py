@@ -17,6 +17,14 @@ group content by meaning*:
 This implementation round-trips: :func:`decompress` restores a document
 value-equal to the input.  Sizes are therefore honest — nothing is
 dropped to cheat the byte counts.
+
+Beyond the in-memory :class:`XMillResult` the experiments measure,
+:func:`to_bytes`/:func:`from_bytes` define a *storage-grade container
+format* — a magic header plus length-framed sections — so the archive
+backends can keep XMill-compressed documents at rest and reopen them
+later (see :mod:`repro.storage.codec`).  The container accounts for
+every byte it needs to round-trip, container path names included, so
+on-disk sizes are honest too.
 """
 
 from __future__ import annotations
@@ -25,6 +33,10 @@ import zlib
 from dataclasses import dataclass
 
 from ..xmltree.model import Element, Text
+
+#: Magic prefix of the on-disk container format (version 1).  XML text
+#: can never start with these bytes, so codecs sniff them safely.
+XMILL_MAGIC = b"XM\x01\x00"
 
 # Structure-stream opcodes.  Tag tokens start at _FIRST_TAG.
 _END = 0          # close current element
@@ -164,6 +176,92 @@ def compressed_text_size(text: str, level: int = 9) -> int:
     from ..xmltree.parser import parse_document
 
     return compressed_size(parse_document(text), level)
+
+
+class XMillFormatError(ValueError):
+    """Raised when bytes do not hold a valid XMill container."""
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            break
+
+
+def _read_varint(data: bytes, position: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if position >= len(data):
+            raise XMillFormatError("Truncated XMill container (varint)")
+        byte = data[position]
+        position += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, position
+        shift += 7
+
+
+def _write_section(out: bytearray, blob: bytes) -> None:
+    _write_varint(out, len(blob))
+    out.extend(blob)
+
+
+def _read_section(data: bytes, position: int) -> tuple[bytes, int]:
+    length, position = _read_varint(data, position)
+    if position + length > len(data):
+        raise XMillFormatError("Truncated XMill container (section)")
+    return data[position : position + length], position + length
+
+
+def to_bytes(result: XMillResult) -> bytes:
+    """Serialize a compression result to the on-disk container format.
+
+    Layout: :data:`XMILL_MAGIC`, then length-framed sections —
+    structure, tag dictionary, small-container bundle, a large-container
+    count and per large container its path (UTF-8) and blob.  Unlike
+    :meth:`XMillResult.total_bytes` (the experiments' idealized sum),
+    the container pays for its own framing and container path names, so
+    ``len(to_bytes(r))`` is the honest at-rest cost.
+    """
+    out = bytearray(XMILL_MAGIC)
+    _write_section(out, result.structure)
+    _write_section(out, result.tag_dictionary)
+    _write_section(out, result.bundle)
+    _write_varint(out, len(result.containers))
+    for path in sorted(result.containers):
+        _write_section(out, path.encode("utf-8"))
+        _write_section(out, result.containers[path])
+    return bytes(out)
+
+
+def from_bytes(data: bytes) -> XMillResult:
+    """Parse the container format back into an :class:`XMillResult`."""
+    if not data.startswith(XMILL_MAGIC):
+        raise XMillFormatError("Not an XMill container (bad magic)")
+    position = len(XMILL_MAGIC)
+    structure, position = _read_section(data, position)
+    tag_dictionary, position = _read_section(data, position)
+    bundle, position = _read_section(data, position)
+    count, position = _read_varint(data, position)
+    containers: dict[str, bytes] = {}
+    for _ in range(count):
+        path_bytes, position = _read_section(data, position)
+        blob, position = _read_section(data, position)
+        containers[path_bytes.decode("utf-8")] = blob
+    if position != len(data):
+        raise XMillFormatError("Trailing bytes after XMill container")
+    return XMillResult(
+        structure=structure,
+        tag_dictionary=tag_dictionary,
+        containers=containers,
+        bundle=bundle,
+    )
 
 
 def decompress(result: XMillResult) -> Element:

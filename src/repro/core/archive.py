@@ -118,12 +118,27 @@ class ArchiveOptions:
 
 @dataclass
 class ArchiveStats:
-    """Size/shape counters of an archive."""
+    """Size/shape counters of an archive.
+
+    ``serialized_bytes`` and ``raw_bytes`` are the *logical*
+    (uncompressed) serialization size; ``disk_bytes`` is what the
+    storage backend actually keeps at rest — smaller under a
+    compressing codec, equal otherwise (and for in-memory archives).
+    """
 
     versions: int
     nodes: int
     stored_timestamps: int
     serialized_bytes: int
+    raw_bytes: int = 0
+    disk_bytes: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Logical bytes per at-rest byte (1.0 when nothing is stored)."""
+        if self.disk_bytes <= 0:
+            return 1.0
+        return self.raw_bytes / self.disk_bytes
 
 
 @dataclass
@@ -808,11 +823,15 @@ class Archive:
     # -- measures -----------------------------------------------------------------------
 
     def stats(self) -> ArchiveStats:
+        serialized = len(self.to_xml_string().encode("utf-8"))
         return ArchiveStats(
             versions=self.version_count,
             nodes=self.root.node_count(),
             stored_timestamps=self.root.timestamp_count(),
-            serialized_bytes=len(self.to_xml_string().encode("utf-8")),
+            serialized_bytes=serialized,
+            # In memory there is no at-rest encoding: disk mirrors raw.
+            raw_bytes=serialized,
+            disk_bytes=serialized,
         )
 
 

@@ -29,6 +29,7 @@ and reason are on every result's ``stats``).
 from __future__ import annotations
 
 import heapq
+import os
 import re
 from typing import Iterator, Optional, Union
 
@@ -47,7 +48,7 @@ from .exec import MemoryCursor, StreamCursor, node_count, run_plan
 from .plan import QueryPlan, compile_plan
 from .result import CHANGES, ELEMENTS, STRINGS, QueryResult, QueryStats
 
-Source = Union[str, Archive, StorageBackend]
+Source = Union[str, "os.PathLike[str]", Archive, StorageBackend]
 
 
 _QUOTED_VALUE = re.compile(r"=\s*(['\"])(.*?)\1")
@@ -82,7 +83,7 @@ def open_db(
 ) -> "ArchiveDB":
     """Open an :class:`ArchiveDB` over a path, backend or archive.
 
-    A path is routed through
+    A path — ``str`` or :class:`os.PathLike` — is routed through
     :func:`repro.storage.backend.open_archive` (backend auto-detected
     from the manifest); the database then owns the backend and
     ``close()`` releases it.  Backends and in-memory archives are
@@ -90,7 +91,9 @@ def open_db(
     """
     if isinstance(source, (Archive, StorageBackend)):
         return ArchiveDB(source)
-    backend = open_archive(source, keys_file=keys_file, options=options)
+    backend = open_archive(
+        os.fspath(source), keys_file=keys_file, options=options
+    )
     return ArchiveDB(backend, owns_backend=True)
 
 

@@ -17,6 +17,7 @@ from .backend import (
     FileBackend,
     Manifest,
     PartitionedBackend,
+    RecodeReport,
     StorageBackend,
     create_archive,
     detect_backend_kind,
@@ -27,6 +28,18 @@ from .backend import (
     read_manifest,
 )
 from .chunked import ChunkedArchiver, ChunkedArchiverError, restore_key_order
+from .codec import (
+    CODEC_NAMES,
+    CODECS,
+    Codec,
+    CodecError,
+    GzipCodec,
+    RawCodec,
+    XMillCodec,
+    detect_codec,
+    get_codec,
+    sniff_codec,
+)
 from .events import (
     DEFAULT_PAGE_SIZE,
     EventWriter,
@@ -45,10 +58,18 @@ from .wal import Commit, WalError, WriteAheadLog, atomic_write_text
 
 __all__ = [
     "BACKEND_KINDS",
+    "CODECS",
+    "CODEC_NAMES",
+    "Codec",
+    "CodecError",
     "DEFAULT_PAGE_SIZE",
     "ChunkedArchiver",
     "ChunkedArchiverError",
     "Commit",
+    "GzipCodec",
+    "RawCodec",
+    "RecodeReport",
+    "XMillCodec",
     "EventWriter",
     "ExitEvent",
     "ExternalArchiver",
@@ -69,7 +90,10 @@ __all__ = [
     "create_archive",
     "decode_event",
     "detect_backend_kind",
+    "detect_codec",
     "encode_event",
+    "get_codec",
+    "sniff_codec",
     "key_spec_fingerprint",
     "keys_location",
     "manifest_location",

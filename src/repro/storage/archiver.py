@@ -44,7 +44,7 @@ from ..keys.annotate import KeyLabel, annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
 from ..xmltree.serializer import to_string
-from .backend import PartitionedBackend, StorageBackend
+from .backend import PartitionedBackend, RecodeReport, StorageBackend
 from .chunked import (
     ChunkedArchiver,
     ChunkedArchiverError,
@@ -64,8 +64,10 @@ from .events import (
     events_to_archive_node,
     read_events,
 )
+from .codec import CodecLike, get_codec, sniff_codec
 from .extmerge import merge_archive_stream
 from .extsort import sort_version
+from .wal import WriteAheadLog, fsync_directory, write_file_durable
 
 #: Intermediate files of an interrupted annotate/sort/merge pass.
 _SCRATCH_PATTERN = re.compile(r"^v\d+-(run|merge)\S*\.jsonl$")
@@ -78,14 +80,19 @@ class ExternalArchiver(StorageBackend):
 
     def __init__(
         self,
-        directory: str,
+        directory: "str | os.PathLike",
         spec: KeySpec,
         memory_budget: int = 10_000,
         fan_in: int = 8,
         page_size: int = DEFAULT_PAGE_SIZE,
+        codec: CodecLike = None,
     ) -> None:
         """``memory_budget`` is the node budget of one sorted run — the
-        paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity."""
+        paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity.
+        ``codec`` encodes the event stream (and its scratch runs) at
+        rest — framed gzip under the compressing codecs, so every pass
+        still streams in bounded memory."""
+        directory = os.fspath(directory)
         self.directory = directory
         self.storage_root = directory
         self.spec = spec
@@ -94,7 +101,22 @@ class ExternalArchiver(StorageBackend):
         self.io_stats = IOStats(page_size=page_size)
         os.makedirs(directory, exist_ok=True)
         self.archive_path = os.path.join(directory, "archive.jsonl")
+        # A recode publishes through the WAL; settle any interrupted
+        # commit before the scratch sweep so the stream and manifest
+        # agree on one codec.
+        WriteAheadLog(os.path.join(directory, "wal.json")).recover(
+            stray_tmps=[
+                os.path.join(directory, name)
+                for name in os.listdir(directory)
+                if name.endswith(".tmp")
+            ]
+        )
         self._recover()
+        self.codec = (
+            get_codec(codec)
+            if codec is not None
+            else sniff_codec(self.archive_path)
+        )
         if not os.path.exists(self.archive_path):
             self._write_empty_archive()
 
@@ -117,7 +139,7 @@ class ExternalArchiver(StorageBackend):
                 os.remove(os.path.join(self.directory, name))
 
     def _write_empty_archive(self) -> None:
-        with EventWriter(self.archive_path, self.io_stats) as writer:
+        with EventWriter(self.archive_path, self.io_stats, self.codec) as writer:
             writer.write(
                 NodeEvent(
                     label=KeyLabel(tag=ROOT_TAG, key=()),
@@ -128,7 +150,9 @@ class ExternalArchiver(StorageBackend):
             writer.write(ExitEvent())
 
     def _root_timestamp(self) -> VersionSet:
-        events = read_events(self.archive_path, IOStats())  # peek without accounting
+        events = read_events(
+            self.archive_path, IOStats(), self.codec
+        )  # peek without accounting
         root = next(events)
         assert isinstance(root, NodeEvent) and root.timestamp is not None
         return root.timestamp
@@ -155,10 +179,16 @@ class ExternalArchiver(StorageBackend):
             stats=self.io_stats,
             fan_in=self.fan_in,
             prefix=f"v{number}",
+            codec=self.codec,
         )
         out_path = os.path.join(self.directory, "archive.next.jsonl")
         merge_stats = merge_archive_stream(  # Sec. 6.3
-            self.archive_path, version_path, out_path, number, self.io_stats
+            self.archive_path,
+            version_path,
+            out_path,
+            number,
+            self.io_stats,
+            self.codec,
         )
         os.replace(out_path, self.archive_path)
         os.remove(version_path)
@@ -167,8 +197,8 @@ class ExternalArchiver(StorageBackend):
 
     def _add_empty_version(self, number: int) -> None:
         out_path = os.path.join(self.directory, "archive.next.jsonl")
-        events = read_events(self.archive_path, self.io_stats)
-        with EventWriter(out_path, self.io_stats) as writer:
+        events = read_events(self.archive_path, self.io_stats, self.codec)
+        with EventWriter(out_path, self.io_stats, self.codec) as writer:
             root = next(events)
             assert isinstance(root, NodeEvent) and root.timestamp is not None
             timestamp = root.timestamp.copy()
@@ -198,7 +228,9 @@ class ExternalArchiver(StorageBackend):
         ``probes`` is accepted for protocol uniformity but stays zero:
         the stream walk has no timestamp trees to probe.
         """
-        events = PeekableEvents(read_events(self.archive_path, self.io_stats))
+        events = PeekableEvents(
+            read_events(self.archive_path, self.io_stats, self.codec)
+        )
         root = events.next()
         assert isinstance(root, NodeEvent) and root.timestamp is not None
         if version not in root.timestamp:
@@ -268,7 +300,9 @@ class ExternalArchiver(StorageBackend):
         steps = _parse_history_path(path)
         if not steps:
             raise ArchiveError(f"Empty history path {path!r}")
-        events = PeekableEvents(read_events(self.archive_path, self.io_stats))
+        events = PeekableEvents(
+            read_events(self.archive_path, self.io_stats, self.codec)
+        )
         root = events.next()
         if not isinstance(root, NodeEvent) or root.timestamp is None:
             raise ArchiveError("Archive stream carries no root timestamp")
@@ -339,14 +373,16 @@ class ExternalArchiver(StorageBackend):
 
         Mirrors :meth:`Archive.stats` semantics — frontier content
         counts its nodes, ``stored_timestamps`` counts only explicit
-        (non-inherited) timestamps — with ``serialized_bytes`` the event
-        stream's on-disk size.
+        (non-inherited) timestamps — with ``serialized_bytes`` /
+        ``raw_bytes`` the stream's logical (decoded) size and
+        ``disk_bytes`` its at-rest size under the codec.
         """
         nodes = 0
         stored_timestamps = 0
         versions = 0
         first = True
-        for event in read_events(self.archive_path, self.io_stats):
+        pass_stats = IOStats()  # logical bytes of this single pass
+        for event in read_events(self.archive_path, pass_stats, self.codec):
             if isinstance(event, ExitEvent):
                 continue
             if first:
@@ -366,11 +402,14 @@ class ExternalArchiver(StorageBackend):
                             nodes += sum(1 for _ in item.iter())
                         else:
                             nodes += 1
+        self.io_stats.merge(pass_stats)
         return ArchiveStats(
             versions=versions,
             nodes=nodes,
             stored_timestamps=stored_timestamps,
-            serialized_bytes=self.archive_bytes(),
+            serialized_bytes=pass_stats.bytes_read,
+            raw_bytes=pass_stats.bytes_read,
+            disk_bytes=self.archive_bytes(),
         )
 
     def to_archive(self, options: Optional[ArchiveOptions] = None) -> Archive:
@@ -380,7 +419,9 @@ class ExternalArchiver(StorageBackend):
         bounded-memory purpose otherwise.
         """
         archive = Archive(self.spec, options)
-        events = PeekableEvents(read_events(self.archive_path, self.io_stats))
+        events = PeekableEvents(
+            read_events(self.archive_path, self.io_stats, self.codec)
+        )
         root = events.next()
         assert isinstance(root, NodeEvent) and root.timestamp is not None
         archive.root = ArchiveNode(
@@ -394,11 +435,85 @@ class ExternalArchiver(StorageBackend):
         """Current size of the on-disk archive stream."""
         return os.path.getsize(self.archive_path)
 
+    def recode(self, codec: CodecLike) -> RecodeReport:
+        """Re-encode the event stream in place, in bounded memory.
 
-def archive_to_stream(archive: Archive, path: str, stats: IOStats) -> None:
+        The stream is copied line-by-line from the old codec's reader
+        into the new codec's writer (never materialized), verified by a
+        second streaming pass comparing decoded lines, then published
+        together with the manifest behind one WAL record.
+        """
+        from itertools import zip_longest
+
+        from .backend import Manifest, key_spec_fingerprint
+
+        target = get_codec(codec)
+        old = self.codec
+        before = self.archive_bytes()
+        version_count = self.last_version  # read under the old codec
+        manifest = Manifest(
+            kind=self.kind,
+            key_spec_hash=key_spec_fingerprint(self.spec),
+            version_count=version_count,
+            codec=target.name,
+            extra=self._manifest_extra(),
+        )
+        wal = WriteAheadLog(os.path.join(self.directory, "wal.json"))
+        staged = self.archive_path + ".tmp"
+        manifest_staged = self.manifest_path() + ".tmp"
+        try:
+            with old.open_text_read(self.archive_path) as source, \
+                    target.open_text_write(staged) as sink:
+                for line in source:
+                    sink.write(line)
+            _fsync_file(staged)
+            # Identity check: the staged stream must decode line-for-line
+            # to the current stream before anything publishes.
+            with old.open_text_read(self.archive_path) as source, \
+                    target.open_text_read(staged) as copy:
+                for original, recoded in zip_longest(source, copy):
+                    if original != recoded:
+                        raise ArchiveError(
+                            f"Recode verification failed: {target.name} "
+                            f"stream does not round-trip"
+                        )
+            write_file_durable(manifest_staged, manifest.to_json())
+        except BaseException:
+            for path in (staged, manifest_staged):
+                if os.path.exists(path):
+                    os.remove(path)
+            raise
+        entries = [self.archive_path, self.manifest_path()]
+        wal.append(entries, meta={"version_count": version_count})
+        wal.publish(entries)
+        self.codec = target
+        return RecodeReport(
+            path=self.directory,
+            kind=self.kind,
+            old_codec=old.name,
+            new_codec=target.name,
+            files=1,
+            disk_bytes_before=before,
+            disk_bytes_after=self.archive_bytes(),
+        )
+
+
+def _fsync_file(path: str) -> None:
+    """Flush a fully-written staged file to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def archive_to_stream(
+    archive: Archive, path: str, stats: IOStats, codec: CodecLike = None
+) -> None:
     """Write an in-memory archive as a sorted event stream."""
     assert archive.root.timestamp is not None
-    with EventWriter(path, stats) as writer:
+    with EventWriter(path, stats, codec) as writer:
         writer.write(
             NodeEvent(
                 label=archive.root.label,

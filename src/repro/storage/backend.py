@@ -42,6 +42,7 @@ from ..core.tstree import ProbeCount
 from ..core.versionset import VersionSet
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
+from .codec import Codec, CodecLike, get_codec, sniff_codec
 from .wal import WriteAheadLog, atomic_write_text
 
 MANIFEST_NAME = "manifest.json"
@@ -61,6 +62,7 @@ class Manifest:
     kind: str
     key_spec_hash: str
     version_count: int
+    codec: str = "raw"
     format_version: int = MANIFEST_FORMAT
     extra: dict = field(default_factory=dict)
 
@@ -68,6 +70,7 @@ class Manifest:
         record = {
             "format": self.format_version,
             "kind": self.kind,
+            "codec": self.codec,
             "key_spec_hash": self.key_spec_hash,
             "version_count": self.version_count,
         }
@@ -87,6 +90,7 @@ class Manifest:
             kind=record["kind"],
             key_spec_hash=record.get("key_spec_hash", ""),
             version_count=int(record.get("version_count", 0)),
+            codec=record.get("codec", "raw"),
             format_version=int(record.get("format", MANIFEST_FORMAT)),
             extra=record.get("extra", {}),
         )
@@ -97,15 +101,55 @@ def key_spec_fingerprint(spec: KeySpec) -> str:
     return hashlib.sha256(str(spec).encode("utf-8")).hexdigest()
 
 
-def manifest_location(path: str) -> str:
+@dataclass
+class RecodeReport:
+    """What one :meth:`StorageBackend.recode` rewrite did."""
+
+    path: str
+    kind: str
+    old_codec: str
+    new_codec: str
+    #: Payload files rewritten (chunk files, archive file or stream).
+    files: int
+    disk_bytes_before: int
+    disk_bytes_after: int
+
+    def __str__(self) -> str:
+        return (
+            f"recoded {self.kind} archive {self.path}: "
+            f"{self.old_codec} -> {self.new_codec}, {self.files} file(s), "
+            f"{self.disk_bytes_before} -> {self.disk_bytes_after} bytes on disk"
+        )
+
+
+def verify_recoded_document(text: str, encoded: bytes, codec: Codec) -> None:
+    """Identity check before a recode publishes: the staged payload must
+    decode to a document value-equal to the source.  Raises
+    :class:`ArchiveError` instead of letting a lossy encode commit."""
+    from ..xmltree.parser import parse_document
+    from ..xmltree.value import value_equal
+
+    decoded = codec.decode_document(encoded)
+    if decoded != text and not value_equal(
+        parse_document(decoded), parse_document(text)
+    ):
+        raise ArchiveError(
+            f"Recode verification failed: {codec.name} round-trip does not "
+            f"preserve the document"
+        )
+
+
+def manifest_location(path: "str | os.PathLike") -> str:
     """Where an archive at ``path`` keeps its manifest."""
+    path = os.fspath(path)
     if os.path.isdir(path):
         return os.path.join(path, MANIFEST_NAME)
     return path + ".manifest.json"
 
 
-def keys_location(path: str) -> str:
+def keys_location(path: "str | os.PathLike") -> str:
     """Where an archive at ``path`` keeps its key specification text."""
+    path = os.fspath(path)
     if os.path.isdir(path):
         return os.path.join(path, "archive.keys")
     return path + ".keys"
@@ -143,6 +187,10 @@ class StorageBackend(abc.ABC):
     #: Filesystem anchor of the archive — a directory or a single file;
     #: every backend sets it, and manifest placement derives from it.
     storage_root: str
+    #: At-rest encoding of the archive's payload files (recorded in the
+    #: manifest; plain sidecars — keys, presence, versions.txt — are
+    #: never encoded).  Every backend sets it in ``__init__``.
+    codec: Codec
 
     @property
     @abc.abstractmethod
@@ -186,12 +234,26 @@ class StorageBackend(abc.ABC):
     def stats(self) -> ArchiveStats:
         """Size/shape counters of the archive."""
 
+    @abc.abstractmethod
+    def recode(self, codec: CodecLike) -> RecodeReport:
+        """Rewrite the archive's payload files under another codec.
+
+        Atomic and identity-verified: every re-encoded payload is
+        staged through the write-ahead log, checked to decode back to
+        the same document (or stream) it was encoded from, and
+        published together with the manifest recording the new codec —
+        a crash at any point leaves the archive wholly in the old or
+        wholly in the new encoding, never a mix.  Recoding to the
+        current codec is a no-op rewrite and still verifies.
+        """
+
     def manifest(self) -> Manifest:
         """The manifest describing this backend's current state."""
         return Manifest(
             kind=self.kind,
             key_spec_hash=key_spec_fingerprint(self.spec),
             version_count=self.last_version,
+            codec=self.codec.name,
             extra=self._manifest_extra(),
         )
 
@@ -275,11 +337,12 @@ class FileBackend(StorageBackend):
 
     def __init__(
         self,
-        path: str,
+        path: "str | os.PathLike",
         spec: KeySpec,
         options: Optional[ArchiveOptions] = None,
+        codec: CodecLike = None,
     ) -> None:
-        self.path = os.path.abspath(path)
+        self.path = os.path.abspath(os.fspath(path))
         self.storage_root = self.path
         self.spec = spec
         self.options = options or ArchiveOptions()
@@ -287,16 +350,28 @@ class FileBackend(StorageBackend):
         self._wal.recover(
             stray_tmps=(self.path + ".tmp", self.manifest_path() + ".tmp")
         )
+        # An explicit codec wins; otherwise an existing file's magic
+        # bytes decide (new archives start raw).
+        self.codec = (
+            get_codec(codec) if codec is not None else sniff_codec(self.path)
+        )
         self._archive: Optional[Archive] = None
+
+    def _read_text(self) -> Optional[str]:
+        """The decoded archive XML, or ``None`` when nothing is stored."""
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return None
+        return self.codec.decode_document(data)
 
     @property
     def archive(self) -> Archive:
         """The in-memory archive, loaded from disk on first use."""
         if self._archive is None:
-            try:
-                with open(self.path, "r", encoding="utf-8") as handle:
-                    text = handle.read()
-            except FileNotFoundError:
+            text = self._read_text()
+            if text is None:
                 self._archive = Archive(self.spec, self.options)
             else:
                 self._archive = Archive.from_xml_string(
@@ -308,7 +383,9 @@ class FileBackend(StorageBackend):
         """Publish the archive XML and manifest in one atomic commit."""
         commit = self._wal.begin()
         try:
-            commit.stage(self.path, self.archive.to_xml_string())
+            commit.stage(
+                self.path, self.codec.encode_document(self.archive.to_xml_string())
+            )
             commit.stage(self.manifest_path(), self.manifest().to_json())
         except BaseException:
             commit.abort()
@@ -352,7 +429,48 @@ class FileBackend(StorageBackend):
         return archive_diff(self.archive, from_version, to_version)
 
     def stats(self) -> ArchiveStats:
-        return self.archive.stats()
+        stats = self.archive.stats()
+        stats.raw_bytes = stats.serialized_bytes
+        try:
+            stats.disk_bytes = os.path.getsize(self.path)
+        except OSError:
+            stats.disk_bytes = stats.raw_bytes  # never persisted yet
+        return stats
+
+    def recode(self, codec: CodecLike) -> RecodeReport:
+        """Re-encode the archive file in place (WAL-staged, verified)."""
+        target = get_codec(codec)
+        old = self.codec
+        # Load (lazily) under the old codec before anything flips: the
+        # manifest staged below reads ``last_version`` off this archive.
+        text = self.archive.to_xml_string()
+        before = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        encoded = target.encode_document(text)
+        verify_recoded_document(text, encoded, target)
+        manifest = self.manifest()
+        manifest.codec = target.name
+        commit = self._wal.begin()
+        try:
+            commit.stage(self.path, encoded)
+            commit.stage(self.manifest_path(), manifest.to_json())
+        except BaseException:
+            commit.abort()
+            raise
+        commit.commit(meta={"version_count": self.last_version})
+        # Only a published commit moves the in-memory codec: a failure
+        # anywhere above leaves this backend reading the old encoding.
+        self.codec = target
+        # The in-memory archive (if loaded) is unchanged; only the
+        # at-rest encoding moved.
+        return RecodeReport(
+            path=self.path,
+            kind=self.kind,
+            old_codec=old.name,
+            new_codec=target.name,
+            files=1,
+            disk_bytes_before=before,
+            disk_bytes_after=os.path.getsize(self.path),
+        )
 
 
 # -- opening and creating archives --------------------------------------------
@@ -360,13 +478,14 @@ class FileBackend(StorageBackend):
 BACKEND_KINDS = ("file", "chunked", "external")
 
 
-def detect_backend_kind(path: str) -> str:
+def detect_backend_kind(path: "str | os.PathLike") -> str:
     """The backend kind stored at ``path``.
 
     The manifest decides when present; pre-manifest archives fall back
     to layout sniffing (an ``archive.jsonl`` stream is external, chunk
     files are chunked, a plain file is a whole-file archive).
     """
+    path = os.fspath(path)
     if os.path.isdir(path):
         manifest = read_manifest(path)
         if manifest is not None:
@@ -392,8 +511,10 @@ def detect_backend_kind(path: str) -> str:
     raise ArchiveError(f"No archive at {path!r}")
 
 
-def _load_spec_text(path: str, keys_file: Optional[str]) -> str:
-    location = keys_file or keys_location(path)
+def _load_spec_text(
+    path: str, keys_file: "Optional[str | os.PathLike]"
+) -> str:
+    location = os.fspath(keys_file) if keys_file is not None else keys_location(path)
     try:
         with open(location, "r", encoding="utf-8") as handle:
             return handle.read()
@@ -416,34 +537,54 @@ def _infer_chunk_count(path: str) -> int:
     return highest + 1 if highest >= 0 else 8
 
 
+def _sniff_backend_codec(path: str, kind: str) -> Codec:
+    """Codec of a manifest-less archive, from its payload magic bytes."""
+    if kind == "file":
+        return sniff_codec(path)
+    if kind == "external":
+        return sniff_codec(os.path.join(path, "archive.jsonl"))
+    for name in sorted(os.listdir(path)):
+        if name.startswith("chunk-") and name.endswith(".xml"):
+            return sniff_codec(os.path.join(path, name))
+    return get_codec(None)
+
+
 def open_archive(
-    path: str,
+    path: "str | os.PathLike",
     spec: Optional[KeySpec] = None,
     *,
-    keys_file: Optional[str] = None,
+    keys_file: "Optional[str | os.PathLike]" = None,
     options: Optional[ArchiveOptions] = None,
 ) -> StorageBackend:
-    """Open an existing archive, auto-detecting its backend.
+    """Open an existing archive, auto-detecting its backend and codec.
 
     ``spec`` (or the key text at ``keys_file`` / the archive's keys
     sidecar) supplies the key specification; when the archive carries a
     manifest, the spec is checked against the recorded fingerprint so a
-    wrong keys file fails loudly instead of mis-merging.
+    wrong keys file fails loudly instead of mis-merging.  The at-rest
+    codec comes from the manifest, falling back to magic-byte sniffing
+    for manifest-less layouts.
     """
     from .archiver import ExternalArchiver  # local: avoids an import cycle
     from .chunked import ChunkedArchiver
 
+    path = os.fspath(path)
     kind = detect_backend_kind(path)
-    if kind == "chunked":
-        # Settle any interrupted commit before reading the manifest:
-        # a crash mid-publish may have left the manifest (and the
-        # chunk-count it records) staged but not yet renamed.
+    # Settle any interrupted commit before reading the manifest: a
+    # crash mid-publish (of a batch or a recode) may have left the
+    # manifest — and the codec/chunk-count it records — staged but not
+    # yet renamed.
+    if os.path.isdir(path):
         WriteAheadLog(os.path.join(path, "wal.json")).recover(
             stray_tmps=[
                 os.path.join(path, name)
                 for name in os.listdir(path)
                 if name.endswith(".tmp")
             ]
+        )
+    else:
+        WriteAheadLog(path + ".wal").recover(
+            stray_tmps=(path + ".tmp", manifest_location(path) + ".tmp")
         )
     if spec is None:
         from ..keys.keyparser import parse_key_spec
@@ -456,20 +597,25 @@ def open_archive(
                 f"Key specification does not match the one {path!r} was "
                 f"created with (manifest fingerprint mismatch)"
             )
+    codec = (
+        get_codec(manifest.codec)
+        if manifest is not None
+        else _sniff_backend_codec(path, kind)
+    )
     if kind == "file":
-        return FileBackend(path, spec, options)
+        return FileBackend(path, spec, options, codec=codec)
     if kind == "chunked":
         if manifest is not None and "chunk_count" in manifest.extra:
             chunk_count = int(manifest.extra["chunk_count"])
         else:
             chunk_count = _infer_chunk_count(path)
-        return ChunkedArchiver(path, spec, chunk_count, options)
+        return ChunkedArchiver(path, spec, chunk_count, options, codec=codec)
     if kind == "external":
         if options is not None and options.compaction:
             # Reject loudly, exactly like create_archive: silently
             # ignoring the flag would hand back a non-compacted archive.
             raise ArchiveError("The external backend does not store weaves")
-        return ExternalArchiver(path, spec)
+        return ExternalArchiver(path, spec, codec=codec)
     raise ArchiveError(f"Unknown backend kind {kind!r} in {path!r} manifest")
 
 
@@ -503,29 +649,33 @@ def _clear_archive(path: str) -> None:
 
 
 def create_archive(
-    path: str,
+    path: "str | os.PathLike",
     spec_text: str,
     kind: str = "file",
     *,
     chunk_count: int = 8,
     options: Optional[ArchiveOptions] = None,
     force: bool = False,
+    codec: CodecLike = None,
 ) -> StorageBackend:
     """Create an empty archive of the given backend kind at ``path``.
 
-    Writes the keys sidecar and the manifest, so every later
-    :func:`open_archive` needs only the path.
+    Writes the keys sidecar and the manifest (recording the chosen
+    at-rest ``codec``), so every later :func:`open_archive` needs only
+    the path.
     """
     from ..keys.keyparser import parse_key_spec
 
     from .archiver import ExternalArchiver  # local: avoids an import cycle
     from .chunked import ChunkedArchiver
 
+    path = os.fspath(path)
     if kind not in BACKEND_KINDS:
         raise ArchiveError(
             f"Unknown backend kind {kind!r} (choose from {', '.join(BACKEND_KINDS)})"
         )
-    spec = parse_key_spec(spec_text)  # validate before touching the disk
+    at_rest = get_codec(codec)  # validate before touching the disk
+    spec = parse_key_spec(spec_text)
     occupied = (
         os.path.isfile(path)
         or (os.path.isdir(path) and bool(os.listdir(path)))
@@ -543,15 +693,15 @@ def create_archive(
         )
     backend: StorageBackend
     if kind == "file":
-        backend = FileBackend(path, spec, options)
+        backend = FileBackend(path, spec, options, codec=at_rest)
         backend.persist()
     elif kind == "chunked":
         os.makedirs(path, exist_ok=True)
-        backend = ChunkedArchiver(path, spec, chunk_count, options)
+        backend = ChunkedArchiver(path, spec, chunk_count, options, codec=at_rest)
         backend.write_manifest()
     else:
         os.makedirs(path, exist_ok=True)
-        backend = ExternalArchiver(path, spec)
+        backend = ExternalArchiver(path, spec, codec=at_rest)
         backend.write_manifest()
     from .wal import atomic_write_text
 

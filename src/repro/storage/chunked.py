@@ -31,7 +31,13 @@ from ..core.versionset import VersionSet
 from ..keys.annotate import annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
-from .backend import OnVersion, StorageBackend
+from .backend import (
+    OnVersion,
+    RecodeReport,
+    StorageBackend,
+    verify_recoded_document,
+)
+from .codec import CodecLike, get_codec, sniff_codec
 from .wal import Commit, WriteAheadLog
 
 
@@ -148,13 +154,15 @@ class ChunkedArchiver(StorageBackend):
 
     def __init__(
         self,
-        directory: str,
+        directory: "str | os.PathLike",
         spec: KeySpec,
         chunk_count: int = 8,
         options: Optional[ArchiveOptions] = None,
+        codec: CodecLike = None,
     ) -> None:
         if chunk_count < 1:
             raise ChunkedArchiverError("Need at least one chunk")
+        directory = os.fspath(directory)
         self.directory = directory
         self.storage_root = directory
         self.spec = spec
@@ -172,7 +180,19 @@ class ChunkedArchiver(StorageBackend):
                 if name.endswith(".tmp")
             ]
         )
+        # An explicit codec wins; otherwise an existing chunk file's
+        # magic bytes decide (fresh directories start raw).
+        self.codec = (
+            get_codec(codec) if codec is not None else self._sniff_codec()
+        )
         self._version_count = self._load_version_count()
+
+    def _sniff_codec(self):
+        for index in range(self.chunk_count):
+            path = self._chunk_path(index)
+            if os.path.exists(path):
+                return sniff_codec(path)
+        return get_codec(None)
 
     # -- chunk file plumbing ----------------------------------------------------
 
@@ -192,21 +212,34 @@ class ChunkedArchiver(StorageBackend):
         except FileNotFoundError:
             return 0
 
+    def _read_chunk_text(self, index: int) -> Optional[str]:
+        """Decoded XML text of a stored chunk (``None`` when absent)."""
+        try:
+            with open(self._chunk_path(index), "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return None
+        return self.codec.decode_document(data)
+
     def _load_chunk(self, index: int) -> Archive:
-        path = self._chunk_path(index)
-        if not os.path.exists(path):
+        text = self._read_chunk_text(index)
+        if text is None:
             archive = Archive(self.spec, self.options)
             # Bring the fresh chunk up to the current version count so
             # chunk timestamps stay globally aligned.
             for _ in range(self._version_count):
                 archive.add_version(None)
             return archive
-        with open(path, "r", encoding="utf-8") as handle:
-            return Archive.from_xml_string(handle.read(), self.spec, self.options)
+        return Archive.from_xml_string(text, self.spec, self.options)
 
     def _stage_chunk(self, commit: Commit, index: int, archive: Archive) -> None:
+        # ``.presence`` sidecars stay plain: retrieval prunes on them
+        # before paying any decode cost.
         commit.stage(self._presence_path(index), _chunk_presence_of(archive).to_text())
-        commit.stage(self._chunk_path(index), archive.to_xml_string())
+        commit.stage(
+            self._chunk_path(index),
+            self.codec.encode_document(archive.to_xml_string()),
+        )
 
     def _stage_meta(self, commit: Commit, version_count: int) -> None:
         commit.stage(self._meta_path(), str(version_count))
@@ -547,11 +580,14 @@ class ChunkedArchiver(StorageBackend):
         """
         nodes = 1
         stored_timestamps = 1
+        raw_bytes = 0
         seen_shells: set[tuple] = set()
         for index in range(self.chunk_count):
-            if not os.path.exists(self._chunk_path(index)):
+            text = self._read_chunk_text(index)
+            if text is None:
                 continue
-            archive = self._load_chunk(index)
+            raw_bytes += len(text.encode("utf-8"))
+            archive = Archive.from_xml_string(text, self.spec, self.options)
             if archive.root.timestamp is not None:
                 stored_timestamps += archive.root.timestamp_count() - 1
             for shell in archive.root.children:
@@ -565,14 +601,61 @@ class ChunkedArchiver(StorageBackend):
             versions=self._version_count,
             nodes=nodes,
             stored_timestamps=stored_timestamps,
-            serialized_bytes=self.total_bytes(),
+            serialized_bytes=raw_bytes,
+            raw_bytes=raw_bytes,
+            disk_bytes=self.total_bytes(),
         )
 
     def total_bytes(self) -> int:
-        """Summed size of all chunk files (the paper concatenates)."""
+        """Summed on-disk size of all chunk files (the paper concatenates)."""
         total = 0
         for index in range(self.chunk_count):
             path = self._chunk_path(index)
             if os.path.exists(path):
                 total += os.path.getsize(path)
         return total
+
+    def recode(self, codec: CodecLike) -> RecodeReport:
+        """Re-encode every chunk file in one atomic, verified commit.
+
+        Presence sidecars and ``versions.txt`` stay plain and untouched;
+        the chunk files and the manifest (recording the new codec)
+        publish together behind one WAL record, so a crash mid-recode
+        recovers to wholly-old or wholly-new encodings.
+        """
+        target = get_codec(codec)
+        old = self.codec
+        before = self.total_bytes()
+        commit = self._wal.begin()
+        files = 0
+        try:
+            for index in range(self.chunk_count):
+                # ``self.codec`` is still the old codec here (it moves
+                # only after the commit publishes), so the shared chunk
+                # reader decodes the current encoding.
+                text = self._read_chunk_text(index)
+                if text is None:
+                    continue
+                encoded = target.encode_document(text)
+                verify_recoded_document(text, encoded, target)
+                commit.stage(self._chunk_path(index), encoded)
+                files += 1
+            manifest = self._manifest_at(self._version_count)
+            manifest.codec = target.name
+            commit.stage(self.manifest_path(), manifest.to_json())
+        except BaseException:
+            commit.abort()
+            raise
+        commit.commit(meta={"version_count": self._version_count})
+        # Only a published commit moves the in-memory codec: a failure
+        # anywhere above leaves this backend reading the old encoding.
+        self.codec = target
+        return RecodeReport(
+            path=self.directory,
+            kind=self.kind,
+            old_codec=old.name,
+            new_codec=target.name,
+            files=files,
+            disk_bytes_before=before,
+            disk_bytes_after=self.total_bytes(),
+        )

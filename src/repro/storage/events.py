@@ -17,7 +17,15 @@ Stream format: one JSON array per line.
 * ``["X"]`` — exit the current internal node.
 
 I/O accounting wraps every reader/writer: bytes moved divided by the
-page size ``B`` gives the page counts of the paper's analysis.
+page size ``B`` gives the page counts of the paper's analysis.  The
+accounting stays in *logical* (decoded-text) bytes whatever the at-rest
+codec, so the Sec. 6 page analysis is codec-independent; the honest
+on-disk numbers live in ``ArchiveStats.disk_bytes``.
+
+Readers and writers take an optional :class:`~repro.storage.codec.Codec`
+— under a compressing codec the stream is framed gzip, written and read
+through bounded-memory streaming handles, so the external sort/merge
+never holds more than a frame of compressed history.
 """
 
 from __future__ import annotations
@@ -159,10 +167,12 @@ def decode_event(line: str) -> Event:
 
 
 class EventWriter:
-    """Writes an event stream to a file, counting bytes."""
+    """Writes an event stream to a file, counting logical bytes."""
 
-    def __init__(self, path: str, stats: IOStats) -> None:
-        self._handle = open(path, "w", encoding="utf-8")
+    def __init__(self, path: str, stats: IOStats, codec=None) -> None:
+        from .codec import get_codec
+
+        self._handle = get_codec(codec).open_text_write(path)
         self._stats = stats
 
     def write(self, event: Event) -> None:
@@ -180,9 +190,11 @@ class EventWriter:
         self.close()
 
 
-def read_events(path: str, stats: IOStats) -> Iterator[Event]:
-    """Lazily iterate events from a stream file, counting bytes."""
-    with open(path, "r", encoding="utf-8") as handle:
+def read_events(path: str, stats: IOStats, codec=None) -> Iterator[Event]:
+    """Lazily iterate events from a stream file, counting logical bytes."""
+    from .codec import get_codec
+
+    with get_codec(codec).open_text_read(path) as handle:
         for line in handle:
             stats.bytes_read += len(line.encode("utf-8"))
             if line.strip():

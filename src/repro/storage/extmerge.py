@@ -41,12 +41,18 @@ def merge_archive_stream(
     out_path: str,
     version_number: int,
     stats: IOStats,
+    codec=None,
 ) -> MergeStats:
-    """Merge a sorted version stream into a sorted archive stream."""
+    """Merge a sorted version stream into a sorted archive stream.
+
+    ``codec`` decodes both inputs and encodes the output; the one-pass
+    bounded-memory shape is unchanged (framed gzip streams decode
+    incrementally).
+    """
     merge_stats = MergeStats()
-    archive = PeekableEvents(read_events(archive_path, stats))
-    version = PeekableEvents(read_events(version_path, stats))
-    with EventWriter(out_path, stats) as writer:
+    archive = PeekableEvents(read_events(archive_path, stats, codec))
+    version = PeekableEvents(read_events(version_path, stats, codec))
+    with EventWriter(out_path, stats, codec) as writer:
         root = archive.next()
         if not isinstance(root, NodeEvent) or root.timestamp is None:
             raise StreamMergeError("Archive stream must open with a timestamped root")

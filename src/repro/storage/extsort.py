@@ -28,10 +28,13 @@ from .events import (
 class _RunWriter:
     """Writes runs, re-opening the current stem at each run boundary."""
 
-    def __init__(self, directory: str, prefix: str, stats: IOStats) -> None:
+    def __init__(
+        self, directory: str, prefix: str, stats: IOStats, codec=None
+    ) -> None:
         self.directory = directory
         self.prefix = prefix
         self.stats = stats
+        self.codec = codec
         self.paths: list[str] = []
         self._writer: EventWriter | None = None
         self._stem: list[NodeEvent] = []
@@ -40,7 +43,7 @@ class _RunWriter:
     def _open_run(self) -> None:
         path = os.path.join(self.directory, f"{self.prefix}-run{len(self.paths)}.jsonl")
         self.paths.append(path)
-        self._writer = EventWriter(path, self.stats)
+        self._writer = EventWriter(path, self.stats, self.codec)
         self._nodes_in_run = len(self._stem)
         for event in self._stem:
             self._writer.write(event)
@@ -89,11 +92,12 @@ def write_sorted_runs(
     budget: int,
     stats: IOStats,
     prefix: str = "version",
+    codec=None,
 ) -> list[str]:
     """Write the annotated version as sorted runs of ≤ ``budget`` nodes."""
     if budget < 2:
         raise ValueError("Run budget must allow at least a stem and one node")
-    runs = _RunWriter(directory, prefix, stats)
+    runs = _RunWriter(directory, prefix, stats, codec)
 
     def walk(node: Element) -> None:
         label = document.label(node)
@@ -195,15 +199,18 @@ def sort_version(
     stats: IOStats,
     fan_in: int = 8,
     prefix: str = "version",
+    codec=None,
 ) -> str:
     """Sorted runs + repeated ``fan_in``-way merges → one sorted stream.
 
     ``fan_in`` models the paper's ``(M/B) - 1`` merge arity; runs are
-    merged in phases until one remains.
+    merged in phases until one remains.  ``codec`` encodes every run and
+    merge file at rest; the streaming readers/writers keep the merge's
+    memory bound independent of it.
     """
     if fan_in < 2:
         raise ValueError("Merge fan-in must be at least 2")
-    paths = write_sorted_runs(document, directory, budget, stats, prefix)
+    paths = write_sorted_runs(document, directory, budget, stats, prefix, codec)
     phase = 0
     while len(paths) > 1:
         merged_paths: list[str] = []
@@ -212,9 +219,12 @@ def sort_version(
             out_path = os.path.join(
                 directory, f"{prefix}-merge{phase}-{start // fan_in}.jsonl"
             )
-            with EventWriter(out_path, stats) as writer:
+            with EventWriter(out_path, stats, codec) as writer:
                 merge_event_streams(
-                    [PeekableEvents(read_events(path, stats)) for path in batch],
+                    [
+                        PeekableEvents(read_events(path, stats, codec))
+                        for path in batch
+                    ],
                     writer,
                 )
             merged_paths.append(out_path)

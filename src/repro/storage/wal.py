@@ -63,12 +63,22 @@ def fsync_directory(directory: str) -> None:
         os.close(fd)
 
 
-def write_file_durable(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` and fsync the file (not the dir)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
+def write_file_durable(path: str, payload: "str | bytes") -> None:
+    """Write ``payload`` to ``path`` and fsync the file (not the dir).
+
+    Text is written UTF-8; bytes are written verbatim — codec-encoded
+    payloads stage through the same durability path as plain text.
+    """
+    if isinstance(payload, str):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+    else:
+        with open(path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 def atomic_write_text(path: str, text: str) -> None:
@@ -184,10 +194,10 @@ class Commit:
         self._wal = wal
         self._entries: list[str] = []
 
-    def stage(self, path: str, text: str) -> None:
-        """Write one file of the commit to its staging name."""
+    def stage(self, path: str, payload: "str | bytes") -> None:
+        """Write one file of the commit (text or bytes) to its staging name."""
         path = os.path.abspath(path)
-        write_file_durable(path + ".tmp", text)
+        write_file_durable(path + ".tmp", payload)
         self._entries.append(path)
 
     def commit(self, meta: Optional[dict] = None) -> None:

@@ -319,3 +319,76 @@ class TestMine:
         orphan.write_text('<T t=""><root/></T>', encoding="utf-8")
         with pytest.raises(SystemExit):
             run("stats", orphan)
+
+
+class TestCodecs:
+    """``--codec`` at init/ingest time and ``recode`` afterwards."""
+
+    @pytest.mark.parametrize("backend", ["file", "chunked", "external"])
+    def test_init_with_codec_round_trips(self, workspace, capsys, backend):
+        archive = workspace / ("store.xml" if backend == "file" else "store")
+        assert (
+            run(
+                "init", archive, "--keys", workspace / "keys.txt",
+                "--backend", backend, "--codec", "gzip",
+            )
+            == 0
+        )
+        assert "codec gzip" in capsys.readouterr().out
+        run("add", archive, workspace / "v1.xml", workspace / "v2.xml")
+        capsys.readouterr()
+        assert run("get", archive, "2") == 0
+        assert "<name>finance</name>" in capsys.readouterr().out
+        assert run("stats", archive) == 0
+        out = capsys.readouterr().out
+        assert "codec:              gzip" in out
+        assert "disk bytes:" in out and "compression ratio:" in out
+
+    def test_recode_rewrites_in_place(self, loaded, capsys):
+        assert run("get", loaded, "3") == 0
+        expected = capsys.readouterr().out
+        assert run("recode", loaded, "--codec", "xmill") == 0
+        out = capsys.readouterr().out
+        assert "raw -> xmill" in out
+        assert loaded.read_bytes().startswith(b"XM\x01\x00")
+        assert run("get", loaded, "3") == 0
+        assert capsys.readouterr().out == expected
+        # ...and back again.
+        assert run("recode", loaded, "--codec", "raw") == 0
+        capsys.readouterr()
+        assert run("get", loaded, "3") == 0
+        assert capsys.readouterr().out == expected
+
+    def test_ingest_with_codec_creates_compressed_archive(
+        self, workspace, capsys
+    ):
+        snapshots = workspace / "snaps"
+        snapshots.mkdir()
+        for number in (1, 2, 3, 4):
+            (workspace / f"v{number}.xml").rename(snapshots / f"v{number}.xml")
+        archive = workspace / "store"
+        code = run(
+            "ingest", archive, snapshots,
+            "--keys", workspace / "keys.txt",
+            "--backend", "chunked", "--chunks", "3", "--codec", "xmill",
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert run("stats", archive) == 0
+        assert "codec:              xmill" in capsys.readouterr().out
+
+    def test_ingest_refuses_codec_change_on_existing_archive(
+        self, loaded, workspace, capsys
+    ):
+        """Asking for a different at-rest codec on an existing archive
+        must refuse (pointing at recode), not silently ignore the flag."""
+        with pytest.raises(SystemExit) as excinfo:
+            run("ingest", loaded, workspace / "v1.xml", "--codec", "xmill")
+        assert "recode" in str(excinfo.value)
+        # The archive's codec did not change.
+        capsys.readouterr()
+        assert run("stats", loaded) == 0
+        assert "codec:              raw" in capsys.readouterr().out
+        # Matching codec (or no flag) keeps working.
+        assert run("ingest", loaded, workspace / "v1.xml", "--codec", "raw") == 0
+        assert run("ingest", loaded, workspace / "v2.xml") == 0

@@ -1,4 +1,10 @@
-"""Tests for the compression substrate (gzip-equivalent + XMill-sim)."""
+"""Tests for the compression substrate (gzip-equivalent + XMill-sim).
+
+The property suites exercise the codecs *directly* — unicode text,
+attribute-heavy nodes, empty elements, deep nesting, timestamp
+attributes — rather than only through the experiment harness, since the
+storage layer now trusts them as at-rest serializers.
+"""
 
 import zlib
 
@@ -6,17 +12,25 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compress import (
+    XMILL_MAGIC,
+    XMillFormatError,
     compress,
     compressed_size,
     decompress,
     deflate,
+    from_bytes,
+    gzip_compress,
     gzip_concatenated_size,
+    gzip_decompress,
     gzip_pieces_size,
     gzip_size,
     inflate,
+    to_bytes,
 )
 from repro.data.company import company_versions
 from repro.xmltree import Element, Text, element, parse_document, to_pretty_string, value_equal
+
+import pytest
 
 
 class TestGzipper:
@@ -124,3 +138,158 @@ class TestXMillProperties:
     def test_size_positive_and_bounded(self, doc):
         size = compressed_size(doc)
         assert size > 0
+
+
+# -- storage-grade strategies: the shapes real archives contain ---------------
+
+# Unicode spanning scripts, combining marks, emoji and XML-special
+# characters; control characters and the XMill framing bytes are outside
+# the XML 1.0 character-data set, so they stay out (as the parser would
+# keep them out of any real document).
+_unicode_texts = st.text(
+    alphabet=st.one_of(
+        st.sampled_from("<>&\"'\n\t"),
+        st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+        st.characters(min_codepoint=0xA1, max_codepoint=0x2FF),
+        st.characters(min_codepoint=0x370, max_codepoint=0x3FF),
+        st.characters(min_codepoint=0x4E00, max_codepoint=0x4E2F),
+        st.characters(min_codepoint=0x1F600, max_codepoint=0x1F60F),
+    ),
+    min_size=0,
+    max_size=24,
+)
+_names = st.sampled_from(["rec", "val", "meta", "prov", "x-1", "a_b"])
+_timestamps = st.lists(
+    st.tuples(st.integers(1, 40), st.integers(0, 5)), min_size=1, max_size=4
+).map(
+    lambda pairs: ",".join(
+        f"{lo}-{lo + width}" if width else str(lo) for lo, width in pairs
+    )
+)
+
+
+@st.composite
+def _storage_documents(draw, depth=4):
+    """Archive-shaped documents: timestamp attributes on wrappers,
+    attribute-heavy records, empty elements, unicode text, deep chains."""
+    shape = draw(st.sampled_from(["timestamped", "attr-heavy", "empty", "plain"]))
+    if shape == "timestamped":
+        node = Element("T")
+        node.set_attribute("t", draw(_timestamps))
+    else:
+        node = Element(draw(_names))
+        for _ in range(draw(st.integers(0, 6 if shape == "attr-heavy" else 2))):
+            node.set_attribute(
+                draw(st.sampled_from(["id", "t", "lang", "ref", "k-ey"])),
+                draw(_unicode_texts),
+            )
+    if shape == "empty" or depth == 0:
+        return node
+    for _ in range(draw(st.integers(0, 3))):
+        if draw(st.booleans()):
+            node.append(draw(_storage_documents(depth=depth - 1)))
+        else:
+            text = draw(_unicode_texts)
+            if text:
+                node.append(Text(text))
+    return node
+
+
+def _deep_chain(depth, leaf_text):
+    node = leaf = Element("d0")
+    for level in range(1, depth):
+        child = Element(f"d{level}")
+        leaf.append(child)
+        leaf = child
+    leaf.append(Text(leaf_text))
+    return node
+
+
+class TestXMillStorageGradeProperties:
+    """Direct round-trips over archive-realistic documents, through the
+    in-memory result *and* the on-disk container format."""
+
+    @given(_storage_documents())
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_value_equal(self, doc):
+        assert value_equal(decompress(compress(doc)), doc)
+
+    @given(_storage_documents())
+    @settings(max_examples=80, deadline=None)
+    def test_container_bytes_round_trip(self, doc):
+        data = to_bytes(compress(doc))
+        assert data.startswith(XMILL_MAGIC)
+        assert value_equal(decompress(from_bytes(data)), doc)
+
+    @given(_storage_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_serialized_text_reparses_identically(self, doc):
+        """The codec contract: for *parser-normal* documents (what every
+        stored file parses to — the parser drops inter-element
+        whitespace, so a raw generated tree first goes through one
+        serialize+parse round), decompress-then-serialize must reparse
+        to the same value.  Archives survive parse → compress → store →
+        load → decompress → parse."""
+        normal = parse_document(to_pretty_string(doc))
+        text = to_pretty_string(decompress(compress(normal)))
+        assert value_equal(parse_document(text), normal)
+
+    @given(st.integers(min_value=2, max_value=60), _unicode_texts.filter(bool))
+    @settings(max_examples=30, deadline=None)
+    def test_deep_nesting(self, depth, leaf_text):
+        doc = _deep_chain(depth, leaf_text)
+        assert value_equal(decompress(compress(doc)), doc)
+        assert value_equal(decompress(from_bytes(to_bytes(compress(doc)))), doc)
+
+    @given(_timestamps, st.lists(_timestamps, min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_timestamp_attribute_wrappers(self, root_ts, child_ts):
+        """The Fig. 5 shape: ``<T t="...">`` wrappers all the way down."""
+        doc = Element("T")
+        doc.set_attribute("t", root_ts)
+        db = Element("db")
+        doc.append(db)
+        for index, ts in enumerate(child_ts):
+            wrapper = Element("T")
+            wrapper.set_attribute("t", ts)
+            record = Element("rec")
+            record.append(Text(f"value {index}"))
+            wrapper.append(record)
+            db.append(wrapper)
+        restored = decompress(from_bytes(to_bytes(compress(doc))))
+        assert value_equal(restored, doc)
+        assert restored.get_attribute("t") == root_ts
+
+    def test_container_rejects_truncation_and_noise(self):
+        data = to_bytes(compress(element("db", element("rec", "x"))))
+        with pytest.raises(XMillFormatError):
+            from_bytes(data[:-2])
+        with pytest.raises(XMillFormatError):
+            from_bytes(data + b"trailing")
+        with pytest.raises(XMillFormatError):
+            from_bytes(b"not a container")
+
+
+class TestGzipperProperties:
+    @given(st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=100, deadline=None)
+    def test_deflate_inflate_round_trip(self, data):
+        assert inflate(deflate(data)) == data
+
+    @given(st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=100, deadline=None)
+    def test_gzip_stream_round_trip(self, data):
+        stream = gzip_compress(data)
+        assert stream.startswith(b"\x1f\x8b")
+        assert gzip_decompress(stream) == data
+
+    @given(st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=50, deadline=None)
+    def test_gzip_stream_deterministic(self, data):
+        assert gzip_compress(data) == gzip_compress(data)
+
+    @given(_unicode_texts)
+    @settings(max_examples=80, deadline=None)
+    def test_gzip_size_matches_real_stream(self, text):
+        """The measurement helper and the real stream agree on bytes."""
+        assert gzip_size(text) == len(gzip_compress(text.encode("utf-8")))

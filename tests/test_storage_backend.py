@@ -7,6 +7,12 @@ the durable backends must survive a crash at any point of a batch
 commit: killed between WAL append and publish, the archive reads at
 the pre-batch version count; killed mid-publish, recovery completes
 the commit.
+
+The matrix runs across at-rest codecs too: every backend must
+round-trip byte-identically whatever the codec, survive the same crash
+drills under a compressing codec, and ``recode`` between any codec
+pair atomically (a crash mid-recode recovers to wholly-old or
+wholly-new encodings).
 """
 
 import json
@@ -32,6 +38,7 @@ from repro.storage.wal import WriteAheadLog
 from repro.xmltree import to_pretty_string
 
 BACKENDS = ["file", "chunked", "external"]
+CODECS = ["raw", "gzip", "xmill"]
 
 
 @pytest.fixture
@@ -53,12 +60,14 @@ def reference(spec, versions):
     return archive
 
 
-def make_backend(kind, base, spec, chunk_count=3):
+def make_backend(kind, base, spec, chunk_count=3, codec=None):
     if kind == "file":
-        return FileBackend(os.path.join(base, "archive.xml"), spec)
+        return FileBackend(os.path.join(base, "archive.xml"), spec, codec=codec)
     if kind == "chunked":
-        return ChunkedArchiver(os.path.join(base, "chunked"), spec, chunk_count)
-    return ExternalArchiver(os.path.join(base, "external"), spec)
+        return ChunkedArchiver(
+            os.path.join(base, "chunked"), spec, chunk_count, codec=codec
+        )
+    return ExternalArchiver(os.path.join(base, "external"), spec, codec=codec)
 
 
 def rendered(document):
@@ -66,11 +75,12 @@ def rendered(document):
 
 
 class TestConformance:
+    @pytest.mark.parametrize("codec", CODECS)
     @pytest.mark.parametrize("kind", BACKENDS)
     def test_batch_retrievals_byte_identical_to_reference(
-        self, kind, tmp_path, spec, versions, reference
+        self, kind, codec, tmp_path, spec, versions, reference
     ):
-        backend = make_backend(kind, str(tmp_path), spec)
+        backend = make_backend(kind, str(tmp_path), spec, codec=codec)
         stats = backend.ingest_batch([v.copy() for v in versions])
         assert stats.versions == len(versions)
         assert backend.last_version == len(versions)
@@ -281,11 +291,12 @@ def _crash_mid_publish(self, entries):
 
 
 class TestCrashRecovery:
+    @pytest.mark.parametrize("codec", CODECS)
     @pytest.mark.parametrize("kind", ["file", "chunked"])
     def test_crash_between_append_and_publish_rolls_back(
-        self, kind, tmp_path, spec, versions, monkeypatch
+        self, kind, codec, tmp_path, spec, versions, monkeypatch
     ):
-        backend = make_backend(kind, str(tmp_path), spec)
+        backend = make_backend(kind, str(tmp_path), spec, codec=codec)
         backend.ingest_batch([v.copy() for v in versions[:2]])
         path = backend.path if kind == "file" else backend.directory
         pre_batch = [rendered(backend.retrieve(n)) for n in (1, 2)]
@@ -305,11 +316,12 @@ class TestCrashRecovery:
         recovered.ingest_batch([v.copy() for v in versions[2:]])
         assert recovered.last_version == len(versions)
 
+    @pytest.mark.parametrize("codec", CODECS)
     @pytest.mark.parametrize("kind", ["file", "chunked"])
     def test_crash_mid_publish_rolls_forward(
-        self, kind, tmp_path, spec, versions, monkeypatch
+        self, kind, codec, tmp_path, spec, versions, monkeypatch
     ):
-        backend = make_backend(kind, str(tmp_path), spec)
+        backend = make_backend(kind, str(tmp_path), spec, codec=codec)
         backend.ingest_batch([v.copy() for v in versions[:2]])
         path = backend.path if kind == "file" else backend.directory
 
@@ -326,13 +338,14 @@ class TestCrashRecovery:
         for number in range(1, len(versions) + 1):
             recovered.retrieve(number)  # every version reconstructs
 
+    @pytest.mark.parametrize("codec", CODECS)
     @pytest.mark.parametrize("kind", ["file", "chunked"])
     def test_crash_mid_stage_rolls_back(
-        self, kind, tmp_path, spec, versions, monkeypatch
+        self, kind, codec, tmp_path, spec, versions, monkeypatch
     ):
         """Dying before the WAL append leaves only stray tmps; opening
         the archive discards them."""
-        backend = make_backend(kind, str(tmp_path), spec)
+        backend = make_backend(kind, str(tmp_path), spec, codec=codec)
         backend.ingest_batch([v.copy() for v in versions[:2]])
         path = backend.path if kind == "file" else backend.directory
 
@@ -396,3 +409,168 @@ class TestCrashRecovery:
         with open(os.path.join(backend.directory, "wal.json")) as handle:
             record = json.load(handle)
         assert record["meta"]["version_count"] == len(versions)
+
+
+class TestCodecMatrix:
+    @pytest.mark.parametrize("codec", CODECS)
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_codec_autodetected_on_reopen(
+        self, kind, codec, tmp_path, spec, versions
+    ):
+        path = str(tmp_path / ("arch.xml" if kind == "file" else "arch"))
+        backend = create_archive(
+            path, COMPANY_KEY_TEXT, kind=kind, chunk_count=3, codec=codec
+        )
+        backend.ingest_batch([v.copy() for v in versions])
+        expected = rendered(backend.retrieve(2))
+        backend.close()
+        manifest = read_manifest(path)
+        assert manifest is not None and manifest.codec == codec
+        reopened = open_archive(path)  # no spec, no codec: all from disk
+        assert reopened.codec.name == codec
+        assert rendered(reopened.retrieve(2)) == expected
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_compressing_codec_shrinks_disk_but_not_raw(
+        self, kind, tmp_path, spec, versions
+    ):
+        (tmp_path / "r").mkdir()
+        (tmp_path / "g").mkdir()
+        raw = make_backend(kind, str(tmp_path / "r"), spec, codec="raw")
+        gz = make_backend(kind, str(tmp_path / "g"), spec, codec="gzip")
+        raw.ingest_batch([v.copy() for v in versions])
+        gz.ingest_batch([v.copy() for v in versions])
+        raw_stats, gz_stats = raw.stats(), gz.stats()
+        assert raw_stats.raw_bytes == gz_stats.raw_bytes  # same logical bytes
+        assert raw_stats.disk_bytes == raw_stats.raw_bytes
+        assert gz_stats.disk_bytes < gz_stats.raw_bytes
+        assert gz_stats.compression_ratio > 1.0
+        assert raw_stats.compression_ratio == 1.0
+
+    def test_manifestless_file_codec_sniffed_by_magic(
+        self, tmp_path, spec, versions
+    ):
+        path = str(tmp_path / "arch.xml")
+        backend = FileBackend(path, spec, codec="xmill")
+        backend.ingest_batch([v.copy() for v in versions])
+        expected = rendered(backend.retrieve(2))
+        os.remove(path + ".manifest.json")
+        reopened = open_archive(path, spec)
+        assert reopened.codec.name == "xmill"
+        assert rendered(reopened.retrieve(2)) == expected
+
+    def test_manifestless_chunked_codec_sniffed_by_magic(
+        self, tmp_path, spec, versions
+    ):
+        backend = ChunkedArchiver(str(tmp_path / "c"), spec, 3, codec="gzip")
+        backend.ingest_batch([v.copy() for v in versions])
+        expected = rendered(backend.retrieve(2))
+        os.remove(tmp_path / "c" / "manifest.json")
+        reopened = open_archive(str(tmp_path / "c"), spec)
+        assert reopened.codec.name == "gzip"
+        assert rendered(reopened.retrieve(2)) == expected
+
+    def test_presence_sidecars_stay_plain(self, tmp_path, spec, versions):
+        backend = ChunkedArchiver(str(tmp_path / "c"), spec, 3, codec="xmill")
+        backend.ingest_batch([v.copy() for v in versions])
+        for name in os.listdir(tmp_path / "c"):
+            full = tmp_path / "c" / name
+            if name.endswith((".presence", ".txt", ".json", ".keys")):
+                full.read_text(encoding="utf-8")  # must not be binary
+
+
+RECODE_CHAIN = ["gzip", "xmill", "raw", "xmill", "gzip", "raw"]
+
+
+class TestRecode:
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_recode_chain_preserves_every_retrieval(
+        self, kind, tmp_path, spec, versions, reference
+    ):
+        """raw→gzip→xmill→raw→… covers every ordered codec pair."""
+        path = str(tmp_path / ("arch.xml" if kind == "file" else "arch"))
+        backend = create_archive(path, COMPANY_KEY_TEXT, kind=kind, chunk_count=3)
+        backend.ingest_batch([v.copy() for v in versions])
+        expected = [
+            rendered(reference.retrieve(n)) for n in range(1, len(versions) + 1)
+        ]
+        previous = "raw"
+        for codec in RECODE_CHAIN:
+            report = backend.recode(codec)
+            assert (report.old_codec, report.new_codec) == (previous, codec)
+            previous = codec
+            backend.close()
+            backend = open_archive(path)  # reopen: manifest names the codec
+            assert backend.codec.name == codec
+            assert [
+                rendered(backend.retrieve(n))
+                for n in range(1, len(versions) + 1)
+            ] == expected
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_recode_onto_same_codec_is_idempotent(
+        self, kind, tmp_path, spec, versions
+    ):
+        backend = make_backend(kind, str(tmp_path), spec, codec="gzip")
+        backend.ingest_batch([v.copy() for v in versions])
+        before = rendered(backend.retrieve(1))
+        report = backend.recode("gzip")
+        assert report.old_codec == report.new_codec == "gzip"
+        assert rendered(backend.retrieve(1)) == before
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_crash_before_recode_publish_keeps_old_codec(
+        self, kind, tmp_path, spec, versions, monkeypatch
+    ):
+        path = str(tmp_path / ("arch.xml" if kind == "file" else "arch"))
+        backend = create_archive(path, COMPANY_KEY_TEXT, kind=kind, chunk_count=3)
+        backend.ingest_batch([v.copy() for v in versions])
+        expected = rendered(backend.retrieve(2))
+        backend.close()
+
+        monkeypatch.setattr(WriteAheadLog, "publish", _crash_before_publish)
+        crashing = open_archive(path)
+        with pytest.raises(SimulatedCrash):
+            crashing.recode("xmill")
+        monkeypatch.undo()
+
+        recovered = open_archive(path)
+        assert recovered.codec.name == "raw"  # the recode rolled back whole
+        manifest = read_manifest(path)
+        assert manifest is not None and manifest.codec == "raw"
+        assert rendered(recovered.retrieve(2)) == expected
+        directory = path if os.path.isdir(path) else os.path.dirname(path)
+        assert not any(n.endswith(".tmp") for n in os.listdir(directory))
+        # ...and the recode replays cleanly after recovery.
+        assert recovered.recode("xmill").new_codec == "xmill"
+        assert rendered(open_archive(path).retrieve(2)) == expected
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_crash_mid_recode_publish_rolls_forward(
+        self, kind, tmp_path, spec, versions, monkeypatch
+    ):
+        path = str(tmp_path / ("arch.xml" if kind == "file" else "arch"))
+        backend = create_archive(path, COMPANY_KEY_TEXT, kind=kind, chunk_count=3)
+        backend.ingest_batch([v.copy() for v in versions])
+        expected = rendered(backend.retrieve(2))
+        backend.close()
+
+        monkeypatch.setattr(WriteAheadLog, "publish", _crash_mid_publish)
+        crashing = open_archive(path)
+        with pytest.raises(SimulatedCrash):
+            crashing.recode("gzip")
+        monkeypatch.undo()
+
+        # Publication had begun: recovery completes it — payloads and
+        # manifest land together on the new codec, never a torn mix.
+        recovered = open_archive(path)
+        assert recovered.codec.name == "gzip"
+        manifest = read_manifest(path)
+        assert manifest is not None and manifest.codec == "gzip"
+        assert rendered(recovered.retrieve(2)) == expected
+
+    def test_recode_rejects_unknown_codec(self, tmp_path, spec, versions):
+        backend = make_backend("file", str(tmp_path), spec)
+        backend.ingest_batch([v.copy() for v in versions])
+        with pytest.raises(ValueError):
+            backend.recode("zstd")
