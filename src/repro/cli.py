@@ -14,6 +14,7 @@ A downstream curator's workflow over plain files::
     xarch diff  archive.xml 2 5                    # semantic change report
     xarch stats archive.xml                        # size/shape/codec counters
     xarch recode archive.xml --codec gzip          # re-encode in place
+    xarch fsck  archive.xml --repair               # scrub / repair integrity
     xarch mine  v1.xml v2.xml -o keys.txt          # infer a key spec
 
 Every subcommand dispatches through
@@ -30,9 +31,11 @@ of the paper's Appendix B and is stored alongside the archive by
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
+from .compress.xmill import XMillFormatError
 from .core.archive import ArchiveError, ArchiveOptions
 from .core.tstree import ProbeCount
 from .keys.keyparser import parse_key_spec
@@ -45,9 +48,14 @@ from .storage.backend import (
     keys_location,
     open_archive,
 )
-from .storage.codec import CODEC_NAMES
+from .storage.codec import CODEC_NAMES, CodecError
+from .storage.integrity import IntegrityError
+from .storage.wal import WalError
 from .xmltree.parser import parse_file
 from .xmltree.serializer import to_pretty_string
+
+#: Exit code for detected corruption (vs 1 for ordinary usage errors).
+EXIT_CORRUPT = 2
 
 
 def _read_keys_text(archive_path: str, keys_file: str | None) -> str:
@@ -328,6 +336,25 @@ def cmd_recode(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Scrub (and optionally repair) an archive's on-disk state."""
+    from .storage.fsck import fsck_archive
+
+    report = fsck_archive(
+        args.archive,
+        keys_file=args.keys,
+        repair=args.repair,
+        deep=args.deep,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report)
+    if report.clean or (args.repair and not report.unrepaired):
+        return 0
+    return 1
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
     versions = [parse_file(path) for path in args.versions]
     report = mine_keys(versions)
@@ -488,6 +515,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_recode.add_argument("--keys")
     p_recode.set_defaults(func=cmd_recode)
 
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="scrub manifest, checksums, WAL state and sidecars; "
+        "--repair rebuilds what is derivable and quarantines the rest",
+    )
+    p_fsck.add_argument("archive")
+    p_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="rebuild derivable state (presence sidecars, checksums, "
+        "manifest); quarantine — never delete — undecodable payloads",
+    )
+    p_fsck.add_argument(
+        "--deep",
+        action="store_true",
+        help="also decode and parse every payload (catches corruption "
+        "that preserves the recorded checksum)",
+    )
+    p_fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable findings report",
+    )
+    p_fsck.add_argument("--keys")
+    p_fsck.set_defaults(func=cmd_fsck)
+
     p_mine = sub.add_parser("mine", help="infer a key spec from versions")
     p_mine.add_argument("versions", nargs="+")
     p_mine.add_argument("-o", "--output")
@@ -500,6 +553,23 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except (
+        IntegrityError,
+        WalError,
+        CodecError,
+        XMillFormatError,
+        json.JSONDecodeError,
+    ) as error:
+        # Detected corruption: one-line diagnostic, distinct exit code,
+        # and a pointer at the scrubber.  Ordered before the generic
+        # handler — every one of these is also a ValueError.
+        archive = getattr(args, "archive", None)
+        hint = f"; run 'xarch fsck {archive}'" if archive else ""
+        print(
+            f"xarch: corruption detected: {error}{hint}",
+            file=sys.stderr,
+        )
+        return EXIT_CORRUPT
     except (ValueError, OSError) as error:
         print(f"xarch: {error}", file=sys.stderr)
         return 1

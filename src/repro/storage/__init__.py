@@ -54,21 +54,46 @@ from .events import (
 )
 from .extmerge import StreamMergeError, merge_archive_stream
 from .extsort import merge_event_streams, sort_version, write_sorted_runs
+from .faults import CrashPoint, FaultInjector, inject
+from .fsck import FINDING_CODES, Finding, FsckReport, fsck_archive
+from .integrity import (
+    CHECKSUMS_NAME,
+    QUARANTINE_DIR,
+    VERIFY_POLICIES,
+    ChecksumMismatch,
+    ChecksumSidecar,
+    IntegrityError,
+    ManifestInconsistent,
+    TruncatedPayload,
+)
 from .wal import Commit, WalError, WriteAheadLog, atomic_write_text
 
 __all__ = [
     "BACKEND_KINDS",
+    "CHECKSUMS_NAME",
     "CODECS",
     "CODEC_NAMES",
     "Codec",
     "CodecError",
+    "ChecksumMismatch",
+    "ChecksumSidecar",
+    "CrashPoint",
     "DEFAULT_PAGE_SIZE",
     "ChunkedArchiver",
     "ChunkedArchiverError",
     "Commit",
+    "FINDING_CODES",
+    "FaultInjector",
+    "Finding",
+    "FsckReport",
     "GzipCodec",
+    "IntegrityError",
+    "ManifestInconsistent",
+    "QUARANTINE_DIR",
     "RawCodec",
     "RecodeReport",
+    "TruncatedPayload",
+    "VERIFY_POLICIES",
     "XMillCodec",
     "EventWriter",
     "ExitEvent",
@@ -92,7 +117,9 @@ __all__ = [
     "detect_backend_kind",
     "detect_codec",
     "encode_event",
+    "fsck_archive",
     "get_codec",
+    "inject",
     "sniff_codec",
     "key_spec_fingerprint",
     "keys_location",

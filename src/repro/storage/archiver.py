@@ -44,7 +44,13 @@ from ..keys.annotate import KeyLabel, annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
 from ..xmltree.serializer import to_string
-from .backend import PartitionedBackend, RecodeReport, StorageBackend
+from .backend import (
+    Manifest,
+    PartitionedBackend,
+    RecodeReport,
+    StorageBackend,
+    key_spec_fingerprint,
+)
 from .chunked import (
     ChunkedArchiver,
     ChunkedArchiverError,
@@ -67,7 +73,26 @@ from .events import (
 from .codec import CodecLike, get_codec, sniff_codec
 from .extmerge import merge_archive_stream
 from .extsort import sort_version
-from .wal import WriteAheadLog, fsync_directory, write_file_durable
+from .integrity import (
+    CHECKSUMS_NAME,
+    ChecksumSidecar,
+    IntegrityError,
+    ManifestInconsistent,
+    hash_file,
+    validate_policy,
+    verify_file,
+)
+from .wal import (
+    WriteAheadLog,
+    fsync_directory,
+    replace_file,
+    write_file_durable,
+)
+from . import faults
+
+#: The event stream's name inside the archive directory (and its key
+#: in the checksum sidecar).
+STREAM_NAME = "archive.jsonl"
 
 #: Intermediate files of an interrupted annotate/sort/merge pass.
 _SCRATCH_PATTERN = re.compile(r"^v\d+-(run|merge)\S*\.jsonl$")
@@ -86,25 +111,29 @@ class ExternalArchiver(StorageBackend):
         fan_in: int = 8,
         page_size: int = DEFAULT_PAGE_SIZE,
         codec: CodecLike = None,
+        verify: str = "always",
     ) -> None:
         """``memory_budget`` is the node budget of one sorted run — the
         paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity.
         ``codec`` encodes the event stream (and its scratch runs) at
         rest — framed gzip under the compressing codecs, so every pass
-        still streams in bounded memory."""
+        still streams in bounded memory.  ``verify`` sets the stream's
+        checksum policy for reads."""
         directory = os.fspath(directory)
         self.directory = directory
         self.storage_root = directory
         self.spec = spec
         self.memory_budget = memory_budget
         self.fan_in = fan_in
+        self.verify = validate_policy(verify)
         self.io_stats = IOStats(page_size=page_size)
         os.makedirs(directory, exist_ok=True)
-        self.archive_path = os.path.join(directory, "archive.jsonl")
-        # A recode publishes through the WAL; settle any interrupted
-        # commit before the scratch sweep so the stream and manifest
-        # agree on one codec.
-        WriteAheadLog(os.path.join(directory, "wal.json")).recover(
+        self.archive_path = os.path.join(directory, STREAM_NAME)
+        # Every mutation publishes through the WAL; settle any
+        # interrupted commit before the scratch sweep so the stream,
+        # manifest and checksum sidecar agree on one state.
+        self._wal = WriteAheadLog(os.path.join(directory, "wal.json"))
+        self._wal.recover(
             stray_tmps=[
                 os.path.join(directory, name)
                 for name in os.listdir(directory)
@@ -117,7 +146,19 @@ class ExternalArchiver(StorageBackend):
             if codec is not None
             else sniff_codec(self.archive_path)
         )
+        self._checksums = ChecksumSidecar.load(
+            os.path.join(directory, CHECKSUMS_NAME)
+        )
+        self._verified: set[str] = set()
         if not os.path.exists(self.archive_path):
+            if self.verify != "never" and (
+                self._checksums.covers(STREAM_NAME)
+                or STREAM_NAME in self._checksums.quarantined
+            ):
+                raise ManifestInconsistent(
+                    f"Event stream {STREAM_NAME!r} is recorded in the "
+                    f"checksum sidecar but missing on disk"
+                )
             self._write_empty_archive()
 
     # -- bookkeeping ---------------------------------------------------------
@@ -148,8 +189,45 @@ class ExternalArchiver(StorageBackend):
                 )
             )
             writer.write(ExitEvent())
+        # Cover the bootstrap stream so the very first archive state is
+        # already verifiable.
+        digest, size = hash_file(self.archive_path)
+        self._checksums.entries[STREAM_NAME] = {"sha256": digest, "bytes": size}
+        self._write_checksums_alone()
+
+    def _write_checksums_alone(self) -> None:
+        from .wal import atomic_write_text
+
+        atomic_write_text(self._checksums.path, self._checksums.to_json())
+        self._checksums.present = True
+
+    def _on_manifest_written(self, text: str) -> None:
+        # A standalone manifest write (archive creation) publishes the
+        # sidecar right behind it so the manifest is covered from birth.
+        from .backend import MANIFEST_NAME
+
+        self._checksums.record(MANIFEST_NAME, text.encode("utf-8"))
+        self._write_checksums_alone()
+
+    def _verify_stream(self) -> None:
+        """Check the event stream against its recorded checksum under
+        the read policy, before any parse touches it."""
+        if self.verify == "never":
+            return
+        if self.verify == "open" and STREAM_NAME in self._verified:
+            return
+        if STREAM_NAME in self._checksums.quarantined:
+            raise IntegrityError(
+                f"Event stream {STREAM_NAME!r} was quarantined by fsck "
+                f"--repair; restore it from quarantine/ or re-ingest"
+            )
+        verify_file(
+            STREAM_NAME, self.archive_path, self._checksums.entry(STREAM_NAME)
+        )
+        self._verified.add(STREAM_NAME)
 
     def _root_timestamp(self) -> VersionSet:
+        self._verify_stream()
         events = read_events(
             self.archive_path, IOStats(), self.codec
         )  # peek without accounting
@@ -165,11 +243,18 @@ class ExternalArchiver(StorageBackend):
     # -- the three phases ---------------------------------------------------------
 
     def add_version(self, document: Optional[Element]) -> MergeStats:
-        """Annotate, sort and merge the next version (Sec. 6)."""
+        """Annotate, sort and merge the next version (Sec. 6).
+
+        The merged stream, the manifest and the checksum sidecar
+        publish together behind one WAL record — a crash at any point
+        recovers to the pre-version or post-version archive, never a
+        stream whose checksum (or manifest) belongs to the other side.
+        """
         number = self.last_version + 1
+        out_path = os.path.join(self.directory, "archive.next.jsonl")
         if document is None:
-            self._add_empty_version(number)
-            self.write_manifest()
+            self._stage_empty_version(number, out_path)
+            self._publish_stream(out_path, number)
             return MergeStats()
         annotated = annotate_keys(document, self.spec)  # Sec. 6.1
         version_path = sort_version(  # Sec. 6.2
@@ -181,7 +266,6 @@ class ExternalArchiver(StorageBackend):
             prefix=f"v{number}",
             codec=self.codec,
         )
-        out_path = os.path.join(self.directory, "archive.next.jsonl")
         merge_stats = merge_archive_stream(  # Sec. 6.3
             self.archive_path,
             version_path,
@@ -190,13 +274,42 @@ class ExternalArchiver(StorageBackend):
             self.io_stats,
             self.codec,
         )
-        os.replace(out_path, self.archive_path)
+        self._publish_stream(out_path, number)
         os.remove(version_path)
-        self.write_manifest()
         return merge_stats
 
-    def _add_empty_version(self, number: int) -> None:
-        out_path = os.path.join(self.directory, "archive.next.jsonl")
+    def _publish_stream(self, out_path: str, version_count: int) -> None:
+        """Commit a fully-written next stream: stage it with a fresh
+        manifest and checksum sidecar, then publish all three behind
+        one WAL record (the same protocol the other backends use)."""
+        staged = self.archive_path + ".tmp"
+        replace_file(out_path, staged)
+        _fsync_file(staged)
+        pending = self._checksums.copy()
+        digest, size = hash_file(staged)
+        pending.entries[STREAM_NAME] = {"sha256": digest, "bytes": size}
+        pending.quarantined.discard(STREAM_NAME)
+        manifest = Manifest(
+            kind=self.kind,
+            key_spec_hash=key_spec_fingerprint(self.spec),
+            version_count=version_count,
+            codec=self.codec.name,
+            extra=self._manifest_extra(),
+        )
+        manifest_text = manifest.to_json()
+        from .backend import MANIFEST_NAME
+
+        pending.record(MANIFEST_NAME, manifest_text.encode("utf-8"))
+        write_file_durable(self.manifest_path() + ".tmp", manifest_text)
+        write_file_durable(self._checksums.path + ".tmp", pending.to_json())
+        entries = [self.archive_path, self.manifest_path(), self._checksums.path]
+        self._wal.append(entries, meta={"version_count": version_count})
+        self._wal.publish(entries)
+        self._checksums = pending
+        self._verified.discard(STREAM_NAME)
+
+    def _stage_empty_version(self, number: int, out_path: str) -> None:
+        self._verify_stream()
         events = read_events(self.archive_path, self.io_stats, self.codec)
         with EventWriter(out_path, self.io_stats, self.codec) as writer:
             root = next(events)
@@ -216,7 +329,6 @@ class ExternalArchiver(StorageBackend):
                 elif isinstance(event, ExitEvent):
                     depth -= 1
                 writer.write(event)
-        os.replace(out_path, self.archive_path)
 
     # -- queries -------------------------------------------------------------------
 
@@ -228,6 +340,7 @@ class ExternalArchiver(StorageBackend):
         ``probes`` is accepted for protocol uniformity but stays zero:
         the stream walk has no timestamp trees to probe.
         """
+        self._verify_stream()
         events = PeekableEvents(
             read_events(self.archive_path, self.io_stats, self.codec)
         )
@@ -300,6 +413,7 @@ class ExternalArchiver(StorageBackend):
         steps = _parse_history_path(path)
         if not steps:
             raise ArchiveError(f"Empty history path {path!r}")
+        self._verify_stream()
         events = PeekableEvents(
             read_events(self.archive_path, self.io_stats, self.codec)
         )
@@ -377,6 +491,7 @@ class ExternalArchiver(StorageBackend):
         ``raw_bytes`` the stream's logical (decoded) size and
         ``disk_bytes`` its at-rest size under the codec.
         """
+        self._verify_stream()
         nodes = 0
         stored_timestamps = 0
         versions = 0
@@ -419,6 +534,7 @@ class ExternalArchiver(StorageBackend):
         bounded-memory purpose otherwise.
         """
         archive = Archive(self.spec, options)
+        self._verify_stream()
         events = PeekableEvents(
             read_events(self.archive_path, self.io_stats, self.codec)
         )
@@ -445,12 +561,10 @@ class ExternalArchiver(StorageBackend):
         """
         from itertools import zip_longest
 
-        from .backend import Manifest, key_spec_fingerprint
-
         target = get_codec(codec)
         old = self.codec
         before = self.archive_bytes()
-        version_count = self.last_version  # read under the old codec
+        version_count = self.last_version  # read (and verify) old stream
         manifest = Manifest(
             kind=self.kind,
             key_spec_hash=key_spec_fingerprint(self.spec),
@@ -458,9 +572,10 @@ class ExternalArchiver(StorageBackend):
             codec=target.name,
             extra=self._manifest_extra(),
         )
-        wal = WriteAheadLog(os.path.join(self.directory, "wal.json"))
         staged = self.archive_path + ".tmp"
         manifest_staged = self.manifest_path() + ".tmp"
+        checksums_staged = self._checksums.path + ".tmp"
+        pending = self._checksums.copy()
         try:
             with old.open_text_read(self.archive_path) as source, \
                     target.open_text_write(staged) as sink:
@@ -477,16 +592,25 @@ class ExternalArchiver(StorageBackend):
                             f"Recode verification failed: {target.name} "
                             f"stream does not round-trip"
                         )
-            write_file_durable(manifest_staged, manifest.to_json())
+            digest, size = hash_file(staged)
+            pending.entries[STREAM_NAME] = {"sha256": digest, "bytes": size}
+            manifest_text = manifest.to_json()
+            from .backend import MANIFEST_NAME
+
+            pending.record(MANIFEST_NAME, manifest_text.encode("utf-8"))
+            write_file_durable(manifest_staged, manifest_text)
+            write_file_durable(checksums_staged, pending.to_json())
         except BaseException:
-            for path in (staged, manifest_staged):
+            for path in (staged, manifest_staged, checksums_staged):
                 if os.path.exists(path):
                     os.remove(path)
             raise
-        entries = [self.archive_path, self.manifest_path()]
-        wal.append(entries, meta={"version_count": version_count})
-        wal.publish(entries)
+        entries = [self.archive_path, self.manifest_path(), self._checksums.path]
+        self._wal.append(entries, meta={"version_count": version_count})
+        self._wal.publish(entries)
         self.codec = target
+        self._checksums = pending
+        self._verified.discard(STREAM_NAME)
         return RecodeReport(
             path=self.directory,
             kind=self.kind,
@@ -500,6 +624,7 @@ class ExternalArchiver(StorageBackend):
 
 def _fsync_file(path: str) -> None:
     """Flush a fully-written staged file to stable storage."""
+    faults.before_op("fsync", path)
     fd = os.open(path, os.O_RDONLY)
     try:
         os.fsync(fd)

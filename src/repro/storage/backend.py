@@ -43,6 +43,13 @@ from ..core.versionset import VersionSet
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
 from .codec import Codec, CodecLike, get_codec, sniff_codec
+from .integrity import (
+    ManifestInconsistent,
+    _self_digest,
+    checksum_entry,
+    validate_policy,
+    verify_bytes,
+)
 from .wal import WriteAheadLog, atomic_write_text
 
 MANIFEST_NAME = "manifest.json"
@@ -76,6 +83,9 @@ class Manifest:
         }
         if self.extra:
             record["extra"] = self.extra
+        # Self-checksum: a flipped bit in the manifest is detected as a
+        # typed IntegrityError, not trusted as different metadata.
+        record["sha256"] = _self_digest(record)
         return json.dumps(record, sort_keys=True, indent=2) + "\n"
 
     @classmethod
@@ -83,9 +93,16 @@ class Manifest:
         try:
             record = json.loads(text)
         except ValueError as error:
-            raise ArchiveError(f"Malformed archive manifest: {error}")
+            raise ManifestInconsistent(f"Malformed archive manifest: {error}")
         if not isinstance(record, dict) or "kind" not in record:
-            raise ArchiveError("Malformed archive manifest: no backend kind")
+            raise ManifestInconsistent(
+                "Malformed archive manifest: no backend kind"
+            )
+        recorded = record.pop("sha256", None)
+        if recorded is not None and _self_digest(record) != recorded:
+            raise ManifestInconsistent(
+                "Archive manifest fails its self-checksum (corrupt manifest)"
+            )
         return cls(
             kind=record["kind"],
             key_spec_hash=record.get("key_spec_hash", ""),
@@ -159,10 +176,18 @@ def read_manifest(path: str) -> Optional[Manifest]:
     """The archive's manifest, or ``None`` for pre-manifest archives."""
     location = manifest_location(path)
     try:
-        with open(location, "r", encoding="utf-8") as handle:
-            return Manifest.from_json(handle.read())
+        with open(location, "rb") as handle:
+            raw = handle.read()
     except FileNotFoundError:
         return None
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ManifestInconsistent(
+            f"Archive manifest {location!r} is not valid UTF-8 "
+            f"(corrupt manifest): {error}"
+        )
+    return Manifest.from_json(text)
 
 
 # -- the storage contract -----------------------------------------------------
@@ -269,7 +294,13 @@ class StorageBackend(abc.ABC):
         Backends whose mutations publish several files stage the
         manifest inside their WAL commit instead and use this only at
         archive-creation time."""
-        atomic_write_text(self.manifest_path(), self.manifest().to_json())
+        text = self.manifest().to_json()
+        atomic_write_text(self.manifest_path(), text)
+        self._on_manifest_written(text)
+
+    def _on_manifest_written(self, text: str) -> None:
+        """Hook for backends that track the manifest in their checksum
+        sidecar (the sidecar must follow a standalone manifest write)."""
 
     def db(self):
         """An :class:`~repro.query.db.ArchiveDB` facade over this
@@ -341,11 +372,13 @@ class FileBackend(StorageBackend):
         spec: KeySpec,
         options: Optional[ArchiveOptions] = None,
         codec: CodecLike = None,
+        verify: str = "always",
     ) -> None:
         self.path = os.path.abspath(os.fspath(path))
         self.storage_root = self.path
         self.spec = spec
         self.options = options or ArchiveOptions()
+        self.verify = validate_policy(verify)
         self._wal = WriteAheadLog(self.path + ".wal")
         self._wal.recover(
             stray_tmps=(self.path + ".tmp", self.manifest_path() + ".tmp")
@@ -355,15 +388,31 @@ class FileBackend(StorageBackend):
         self.codec = (
             get_codec(codec) if codec is not None else sniff_codec(self.path)
         )
+        # The payload's recorded checksum lives in the manifest (the
+        # whole-file backend has exactly one payload, so no sidecar).
+        manifest = read_manifest(self.path)
+        self._payload_checksum: Optional[dict] = (
+            manifest.extra.get("payload") if manifest is not None else None
+        )
+        self._verified = False
         self._archive: Optional[Archive] = None
 
     def _read_text(self) -> Optional[str]:
-        """The decoded archive XML, or ``None`` when nothing is stored."""
+        """The decoded archive XML, or ``None`` when nothing is stored.
+
+        The payload is verified against the manifest's recorded
+        checksum under the backend's ``verify`` policy before the codec
+        touches it — corruption surfaces as a typed
+        :class:`~repro.storage.integrity.IntegrityError`, not a decode
+        failure."""
         try:
             with open(self.path, "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
             return None
+        if self.verify != "never" and not (self.verify == "open" and self._verified):
+            verify_bytes(os.path.basename(self.path), data, self._payload_checksum)
+            self._verified = True
         return self.codec.decode_document(data)
 
     @property
@@ -379,18 +428,32 @@ class FileBackend(StorageBackend):
                 )
         return self._archive
 
+    def _manifest_extra(self) -> dict:
+        if self._payload_checksum is not None:
+            return {"payload": self._payload_checksum}
+        return {}
+
     def persist(self) -> None:
         """Publish the archive XML and manifest in one atomic commit."""
+        encoded = self.codec.encode_document(self.archive.to_xml_string())
+        previous = self._payload_checksum
+        # Record the checksum before building the manifest (the
+        # manifest carries it); restore it if the commit never lands.
+        self._payload_checksum = checksum_entry(encoded)
         commit = self._wal.begin()
         try:
-            commit.stage(
-                self.path, self.codec.encode_document(self.archive.to_xml_string())
-            )
-            commit.stage(self.manifest_path(), self.manifest().to_json())
+            try:
+                commit.stage(self.path, encoded)
+                commit.stage(self.manifest_path(), self.manifest().to_json())
+            except BaseException:
+                commit.abort()  # staging failed: nothing durable yet
+                raise
+            # A failure *during* commit must not abort: recovery on the
+            # next open decides roll-back vs roll-forward from the WAL.
+            commit.commit(meta={"version_count": self.last_version})
         except BaseException:
-            commit.abort()
+            self._payload_checksum = previous
             raise
-        commit.commit(meta={"version_count": self.last_version})
 
     @property
     def last_version(self) -> int:
@@ -447,16 +510,22 @@ class FileBackend(StorageBackend):
         before = os.path.getsize(self.path) if os.path.exists(self.path) else 0
         encoded = target.encode_document(text)
         verify_recoded_document(text, encoded, target)
+        previous_checksum = self._payload_checksum
+        self._payload_checksum = checksum_entry(encoded)
         manifest = self.manifest()
         manifest.codec = target.name
         commit = self._wal.begin()
         try:
-            commit.stage(self.path, encoded)
-            commit.stage(self.manifest_path(), manifest.to_json())
+            try:
+                commit.stage(self.path, encoded)
+                commit.stage(self.manifest_path(), manifest.to_json())
+            except BaseException:
+                commit.abort()  # staging failed: nothing durable yet
+                raise
+            commit.commit(meta={"version_count": self.last_version})
         except BaseException:
-            commit.abort()
+            self._payload_checksum = previous_checksum
             raise
-        commit.commit(meta={"version_count": self.last_version})
         # Only a published commit moves the in-memory codec: a failure
         # anywhere above leaves this backend reading the old encoding.
         self.codec = target
@@ -555,6 +624,8 @@ def open_archive(
     *,
     keys_file: "Optional[str | os.PathLike]" = None,
     options: Optional[ArchiveOptions] = None,
+    verify: str = "always",
+    on_corrupt: str = "raise",
 ) -> StorageBackend:
     """Open an existing archive, auto-detecting its backend and codec.
 
@@ -564,6 +635,11 @@ def open_archive(
     wrong keys file fails loudly instead of mis-merging.  The at-rest
     codec comes from the manifest, falling back to magic-byte sniffing
     for manifest-less layouts.
+
+    ``verify`` sets the checksum policy for reads (``"always"``,
+    ``"open"`` — once per file per handle — or ``"never"``);
+    ``on_corrupt`` sets the chunked backend's per-chunk degradation
+    policy (``"raise"`` or ``"skip"`` corrupt chunks during retrieval).
     """
     from .archiver import ExternalArchiver  # local: avoids an import cycle
     from .chunked import ChunkedArchiver
@@ -593,7 +669,7 @@ def open_archive(
     manifest = read_manifest(path)
     if manifest is not None and manifest.key_spec_hash:
         if manifest.key_spec_hash != key_spec_fingerprint(spec):
-            raise ArchiveError(
+            raise ManifestInconsistent(
                 f"Key specification does not match the one {path!r} was "
                 f"created with (manifest fingerprint mismatch)"
             )
@@ -603,19 +679,27 @@ def open_archive(
         else _sniff_backend_codec(path, kind)
     )
     if kind == "file":
-        return FileBackend(path, spec, options, codec=codec)
+        return FileBackend(path, spec, options, codec=codec, verify=verify)
     if kind == "chunked":
         if manifest is not None and "chunk_count" in manifest.extra:
             chunk_count = int(manifest.extra["chunk_count"])
         else:
             chunk_count = _infer_chunk_count(path)
-        return ChunkedArchiver(path, spec, chunk_count, options, codec=codec)
+        return ChunkedArchiver(
+            path,
+            spec,
+            chunk_count,
+            options,
+            codec=codec,
+            verify=verify,
+            on_corrupt=on_corrupt,
+        )
     if kind == "external":
         if options is not None and options.compaction:
             # Reject loudly, exactly like create_archive: silently
             # ignoring the flag would hand back a non-compacted archive.
             raise ArchiveError("The external backend does not store weaves")
-        return ExternalArchiver(path, spec, codec=codec)
+        return ExternalArchiver(path, spec, codec=codec, verify=verify)
     raise ArchiveError(f"Unknown backend kind {kind!r} in {path!r} manifest")
 
 

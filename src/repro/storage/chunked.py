@@ -32,13 +32,24 @@ from ..keys.annotate import annotate_keys
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
 from .backend import (
+    MANIFEST_NAME,
     OnVersion,
     RecodeReport,
     StorageBackend,
     verify_recoded_document,
 )
-from .codec import CodecLike, get_codec, sniff_codec
-from .wal import Commit, WriteAheadLog
+from .codec import CodecError, CodecLike, get_codec, sniff_codec
+from .integrity import (
+    CHECKSUMS_NAME,
+    ChecksumSidecar,
+    IntegrityError,
+    ManifestInconsistent,
+    validate_policy,
+)
+from .wal import Commit, WriteAheadLog, atomic_write_text
+
+#: Per-chunk degradation policies for reads over damaged archives.
+ON_CORRUPT_POLICIES = ("raise", "skip")
 
 
 class ChunkedArchiverError(ValueError):
@@ -159,18 +170,32 @@ class ChunkedArchiver(StorageBackend):
         chunk_count: int = 8,
         options: Optional[ArchiveOptions] = None,
         codec: CodecLike = None,
+        verify: str = "always",
+        on_corrupt: str = "raise",
     ) -> None:
         if chunk_count < 1:
             raise ChunkedArchiverError("Need at least one chunk")
+        if on_corrupt not in ON_CORRUPT_POLICIES:
+            raise ChunkedArchiverError(
+                f"Unknown on_corrupt policy {on_corrupt!r} "
+                f"(choose from {', '.join(ON_CORRUPT_POLICIES)})"
+            )
         directory = os.fspath(directory)
         self.directory = directory
         self.storage_root = directory
         self.spec = spec
         self.chunk_count = chunk_count
         self.options = options or ArchiveOptions()
+        self.verify = validate_policy(verify)
+        #: What :meth:`retrieve` does with a chunk that fails integrity
+        #: or decode checks: ``"raise"`` propagates, ``"skip"`` serves
+        #: the healthy chunks and counts the skip.
+        self.on_corrupt = on_corrupt
         #: Chunk loads retrieval skipped because the chunk's presence
         #: timestamp excluded the requested version (cumulative).
         self.chunks_pruned = 0
+        #: Chunks retrieval skipped as corrupt under ``on_corrupt="skip"``.
+        self.chunks_skipped_corrupt = 0
         os.makedirs(directory, exist_ok=True)
         self._wal = WriteAheadLog(os.path.join(directory, "wal.json"))
         self._wal.recover(
@@ -185,6 +210,12 @@ class ChunkedArchiver(StorageBackend):
         self.codec = (
             get_codec(codec) if codec is not None else self._sniff_codec()
         )
+        # Payload checksums: recorded per file in the sidecar, staged
+        # through the same WAL commit as the payloads themselves.
+        self._checksums = ChecksumSidecar.load(
+            os.path.join(directory, CHECKSUMS_NAME)
+        )
+        self._verified: set[str] = set()
         self._version_count = self._load_version_count()
 
     def _sniff_codec(self):
@@ -205,20 +236,56 @@ class ChunkedArchiver(StorageBackend):
     def _meta_path(self) -> str:
         return os.path.join(self.directory, "versions.txt")
 
+    def _verify_payload(self, path: str, data: bytes) -> None:
+        """Check one read against the sidecar under the verify policy."""
+        self._checksums.verify(
+            os.path.basename(path), data, self.verify, self._verified
+        )
+
+    def _check_absent(self, path: str) -> None:
+        """A file is missing: fine for legacy/lazy files, a typed error
+        when the checksum sidecar says it should exist (or fsck moved
+        it to quarantine)."""
+        if self.verify == "never":
+            return
+        name = os.path.basename(path)
+        if name in self._checksums.quarantined:
+            raise IntegrityError(
+                f"Payload {name!r} was quarantined by fsck --repair; "
+                f"restore it from quarantine/ or re-ingest"
+            )
+        if self._checksums.covers(name):
+            raise ManifestInconsistent(
+                f"Payload {name!r} is recorded in the checksum sidecar "
+                f"but missing on disk"
+            )
+
     def _load_version_count(self) -> int:
         try:
-            with open(self._meta_path(), "r", encoding="utf-8") as handle:
-                return int(handle.read().strip() or "0")
-        except FileNotFoundError:
-            return 0
-
-    def _read_chunk_text(self, index: int) -> Optional[str]:
-        """Decoded XML text of a stored chunk (``None`` when absent)."""
-        try:
-            with open(self._chunk_path(index), "rb") as handle:
+            with open(self._meta_path(), "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
+            self._check_absent(self._meta_path())
+            return 0
+        self._verify_payload(self._meta_path(), data)
+        return int(data.decode("utf-8").strip() or "0")
+
+    def _read_chunk_text(self, index: int) -> Optional[str]:
+        """Decoded XML text of a stored chunk (``None`` when absent).
+
+        The raw bytes verify against the checksum sidecar *before* the
+        codec touches them, so corruption surfaces as a typed
+        :class:`~repro.storage.integrity.IntegrityError`, never a
+        confusing decode failure.
+        """
+        path = self._chunk_path(index)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            self._check_absent(path)
             return None
+        self._verify_payload(path, data)
         return self.codec.decode_document(data)
 
     def _load_chunk(self, index: int) -> Archive:
@@ -232,20 +299,53 @@ class ChunkedArchiver(StorageBackend):
             return archive
         return Archive.from_xml_string(text, self.spec, self.options)
 
-    def _stage_chunk(self, commit: Commit, index: int, archive: Archive) -> None:
+    def _stage(
+        self,
+        commit: Commit,
+        pending: ChecksumSidecar,
+        path: str,
+        payload: "str | bytes",
+    ) -> None:
+        """Stage one file and record its checksum in the pending sidecar."""
+        commit.stage(path, payload)
+        data = payload.encode("utf-8") if isinstance(payload, str) else payload
+        pending.record(os.path.basename(path), data)
+
+    def _stage_chunk(
+        self,
+        commit: Commit,
+        pending: ChecksumSidecar,
+        index: int,
+        archive: Archive,
+    ) -> None:
         # ``.presence`` sidecars stay plain: retrieval prunes on them
         # before paying any decode cost.
-        commit.stage(self._presence_path(index), _chunk_presence_of(archive).to_text())
-        commit.stage(
+        self._stage(
+            commit,
+            pending,
+            self._presence_path(index),
+            _chunk_presence_of(archive).to_text(),
+        )
+        self._stage(
+            commit,
+            pending,
             self._chunk_path(index),
             self.codec.encode_document(archive.to_xml_string()),
         )
 
-    def _stage_meta(self, commit: Commit, version_count: int) -> None:
-        commit.stage(self._meta_path(), str(version_count))
-        commit.stage(
-            self.manifest_path(), self._manifest_at(version_count).to_json()
+    def _stage_meta(
+        self, commit: Commit, pending: ChecksumSidecar, version_count: int
+    ) -> None:
+        self._stage(commit, pending, self._meta_path(), str(version_count))
+        self._stage(
+            commit,
+            pending,
+            self.manifest_path(),
+            self._manifest_at(version_count).to_json(),
         )
+        # The sidecar itself stages last, inside the same commit, so
+        # checksums and payloads publish (or roll back) together.
+        commit.stage(self._checksums.path, pending.to_json())
 
     def _manifest_at(self, version_count: int):
         manifest = self.manifest()
@@ -267,11 +367,25 @@ class ChunkedArchiver(StorageBackend):
         top-level record roots' effective timestamps instead.  ``None``
         when unknown (sidecar missing: chunk written by an older tool).
         """
+        path = self._presence_path(index)
         try:
-            with open(self._presence_path(index), "r", encoding="utf-8") as handle:
-                return VersionSet.parse(handle.read())
+            with open(path, "rb") as handle:
+                data = handle.read()
         except FileNotFoundError:
+            # A missing presence sidecar is always safe to degrade on —
+            # ``None`` makes readers parse the chunk instead of pruning
+            # — so it is an fsck finding, not a read error.  Corrupt
+            # *contents* still raise: they could prune wrongly.
             return None
+        self._verify_payload(path, data)
+        return VersionSet.parse(data.decode("utf-8"))
+
+    def _on_manifest_written(self, text: str) -> None:
+        # A standalone manifest write (archive creation) publishes the
+        # sidecar right behind it so the manifest is covered from birth.
+        self._checksums.record(MANIFEST_NAME, text.encode("utf-8"))
+        atomic_write_text(self._checksums.path, self._checksums.to_json())
+        self._checksums.present = True
 
     # -- partitioning --------------------------------------------------------------
 
@@ -335,6 +449,7 @@ class ChunkedArchiver(StorageBackend):
         files publish atomically behind one WAL record."""
         total = MergeStats()
         parts = self._partition(document) if document is not None else {}
+        pending = self._checksums.copy()
         commit = self._wal.begin()
         try:
             for index in range(self.chunk_count):
@@ -346,12 +461,14 @@ class ChunkedArchiver(StorageBackend):
                     continue  # nothing stored, nothing new: stay lazy
                 archive = self._load_chunk(index)
                 total.accumulate(archive.add_version(part))
-                self._stage_chunk(commit, index, archive)
-            self._stage_meta(commit, self._version_count + 1)
+                self._stage_chunk(commit, pending, index, archive)
+            self._stage_meta(commit, pending, self._version_count + 1)
         except BaseException:
             commit.abort()  # staging failed: nothing was committed
             raise
         commit.commit(meta={"version_count": self._version_count + 1})
+        # Only a published commit moves the in-memory sidecar.
+        self._checksums = pending
         total.versions = 1
         self._version_count += 1
         return total
@@ -390,6 +507,7 @@ class ChunkedArchiver(StorageBackend):
             for document in documents
         ]
         total = MergeStats()
+        pending = self._checksums.copy()
         commit = self._wal.begin()
         # ``on_chunk`` fires only after the commit publishes, so index
         # caches never adopt state a failed batch rolls back.  Deferral
@@ -410,17 +528,18 @@ class ChunkedArchiver(StorageBackend):
                     # Versions without records for this chunk are empty
                     # versions locally, keeping timestamps globally aligned.
                     session.add(parts.get(index))
-                self._stage_chunk(commit, index, archive)
+                self._stage_chunk(commit, pending, index, archive)
                 if on_chunk is not None:
                     landed.append((index, archive))
                 total.accumulate(session.stats)
-            self._stage_meta(commit, self._version_count + len(partitions))
+            self._stage_meta(commit, pending, self._version_count + len(partitions))
         except BaseException:
             commit.abort()  # staging failed: nothing was committed
             raise
         commit.commit(
             meta={"version_count": self._version_count + len(partitions)}
         )
+        self._checksums = pending
         total.versions = len(partitions)
         self._version_count += len(partitions)
         if on_chunk is not None:
@@ -447,13 +566,24 @@ class ChunkedArchiver(StorageBackend):
 
         def parts():
             for index in range(self.chunk_count):
-                if not os.path.exists(self._chunk_path(index)):
-                    continue
-                presence = self.chunk_presence(index)
-                if presence is not None and version not in presence:
-                    self.chunks_pruned += 1
-                    continue
-                yield self._load_chunk(index).retrieve(version, probes=probes)
+                try:
+                    if not os.path.exists(self._chunk_path(index)):
+                        # Raises when the sidecar says the chunk should
+                        # exist (deleted or quarantined); silent when lazy.
+                        self._check_absent(self._chunk_path(index))
+                        continue
+                    presence = self.chunk_presence(index)
+                    if presence is not None and version not in presence:
+                        self.chunks_pruned += 1
+                        continue
+                    part = self._load_chunk(index).retrieve(version, probes=probes)
+                except (IntegrityError, CodecError):
+                    if self.on_corrupt == "skip":
+                        # Degrade gracefully: serve the healthy chunks.
+                        self.chunks_skipped_corrupt += 1
+                        continue
+                    raise
+                yield part
 
         return restore_key_order(concatenate_parts(parts()), self.spec)
 
@@ -474,6 +604,7 @@ class ChunkedArchiver(StorageBackend):
 
         def attempt(index: int):
             if not os.path.exists(self._chunk_path(index)):
+                self._check_absent(self._chunk_path(index))
                 return None
             return self._load_chunk(index).history(path)
 
@@ -626,6 +757,7 @@ class ChunkedArchiver(StorageBackend):
         target = get_codec(codec)
         old = self.codec
         before = self.total_bytes()
+        pending = self._checksums.copy()
         commit = self._wal.begin()
         files = 0
         try:
@@ -638,11 +770,12 @@ class ChunkedArchiver(StorageBackend):
                     continue
                 encoded = target.encode_document(text)
                 verify_recoded_document(text, encoded, target)
-                commit.stage(self._chunk_path(index), encoded)
+                self._stage(commit, pending, self._chunk_path(index), encoded)
                 files += 1
             manifest = self._manifest_at(self._version_count)
             manifest.codec = target.name
-            commit.stage(self.manifest_path(), manifest.to_json())
+            self._stage(commit, pending, self.manifest_path(), manifest.to_json())
+            commit.stage(self._checksums.path, pending.to_json())
         except BaseException:
             commit.abort()
             raise
@@ -650,6 +783,7 @@ class ChunkedArchiver(StorageBackend):
         # Only a published commit moves the in-memory codec: a failure
         # anywhere above leaves this backend reading the old encoding.
         self.codec = target
+        self._checksums = pending
         return RecodeReport(
             path=self.directory,
             kind=self.kind,

@@ -191,14 +191,55 @@ class EventWriter:
 
 
 def read_events(path: str, stats: IOStats, codec=None) -> Iterator[Event]:
-    """Lazily iterate events from a stream file, counting logical bytes."""
-    from .codec import get_codec
+    """Lazily iterate events from a stream file, counting logical bytes.
 
-    with get_codec(codec).open_text_read(path) as handle:
-        for line in handle:
-            stats.bytes_read += len(line.encode("utf-8"))
-            if line.strip():
-                yield decode_event(line)
+    Stream-layer failures (a gzip frame cut short, bytes that stopped
+    being UTF-8) and lines that no longer parse as events are raised as
+    the typed :class:`~repro.storage.integrity.IntegrityError` family —
+    :class:`~repro.storage.integrity.TruncatedPayload` when the stream
+    ends mid-frame — never as a bare ``EOFError``/``zlib.error``/
+    ``json.JSONDecodeError`` from whatever layer happened to choke.
+    """
+    import gzip
+    import zlib
+
+    from .codec import get_codec
+    from .integrity import IntegrityError, TruncatedPayload
+
+    line_number = 0
+    try:
+        with get_codec(codec).open_text_read(path) as handle:
+            for line in handle:
+                line_number += 1
+                stats.bytes_read += len(line.encode("utf-8"))
+                if line.strip():
+                    yield decode_event(line)
+    except IntegrityError:
+        raise
+    except gzip.BadGzipFile as error:
+        # A frame whose magic rotted away (BadGzipFile subclasses
+        # OSError, so it must classify before real I/O errors pass).
+        raise IntegrityError(
+            f"Event stream {path!r} is undecodable near line "
+            f"{line_number}: {error}"
+        )
+    except (EOFError, zlib.error) as error:
+        raise TruncatedPayload(
+            f"Event stream {path!r} ends mid-frame after line "
+            f"{line_number}: {error}"
+        )
+    except (
+        UnicodeDecodeError,
+        json.JSONDecodeError,
+        IndexError,
+        KeyError,
+        TypeError,
+        ValueError,
+    ) as error:
+        raise IntegrityError(
+            f"Event stream {path!r} is undecodable near line "
+            f"{line_number}: {error}"
+        )
 
 
 class PeekableEvents:

@@ -49,23 +49,35 @@ def merge_archive_stream(
     bounded-memory shape is unchanged (framed gzip streams decode
     incrementally).
     """
+    from .integrity import TruncatedPayload
+
     merge_stats = MergeStats()
     archive = PeekableEvents(read_events(archive_path, stats, codec))
     version = PeekableEvents(read_events(version_path, stats, codec))
-    with EventWriter(out_path, stats, codec) as writer:
-        root = archive.next()
-        if not isinstance(root, NodeEvent) or root.timestamp is None:
-            raise StreamMergeError("Archive stream must open with a timestamped root")
-        timestamp = root.timestamp.copy()
-        timestamp.add(version_number)
-        writer.write(replace(root, timestamp=timestamp))
-        _merge_children(
-            archive, version, timestamp, version_number, writer, merge_stats
-        )
-        exit_event = archive.next()
-        if not isinstance(exit_event, ExitEvent):
-            raise StreamMergeError("Archive root not closed")
-        writer.write(ExitEvent())
+    try:
+        with EventWriter(out_path, stats, codec) as writer:
+            root = archive.next()
+            if not isinstance(root, NodeEvent) or root.timestamp is None:
+                raise StreamMergeError(
+                    "Archive stream must open with a timestamped root"
+                )
+            timestamp = root.timestamp.copy()
+            timestamp.add(version_number)
+            writer.write(replace(root, timestamp=timestamp))
+            _merge_children(
+                archive, version, timestamp, version_number, writer, merge_stats
+            )
+            exit_event = archive.next()
+            if not isinstance(exit_event, ExitEvent):
+                raise StreamMergeError("Archive root not closed")
+            writer.write(ExitEvent())
+    except StopIteration:
+        # A stream that ends mid-structure (events missing their exits)
+        # is a truncated payload, not a programming error.
+        raise TruncatedPayload(
+            f"Event stream ends mid-structure merging {archive_path!r} "
+            f"with {version_path!r}"
+        ) from None
     return merge_stats
 
 

@@ -219,14 +219,23 @@ def sort_version(
             out_path = os.path.join(
                 directory, f"{prefix}-merge{phase}-{start // fan_in}.jsonl"
             )
-            with EventWriter(out_path, stats, codec) as writer:
-                merge_event_streams(
-                    [
-                        PeekableEvents(read_events(path, stats, codec))
-                        for path in batch
-                    ],
-                    writer,
-                )
+            try:
+                with EventWriter(out_path, stats, codec) as writer:
+                    merge_event_streams(
+                        [
+                            PeekableEvents(read_events(path, stats, codec))
+                            for path in batch
+                        ],
+                        writer,
+                    )
+            except StopIteration:
+                from .integrity import TruncatedPayload
+
+                # A run that ends mid-structure was cut short on disk;
+                # classify it instead of leaking a bare StopIteration.
+                raise TruncatedPayload(
+                    f"Sorted run ends mid-structure merging {batch!r}"
+                ) from None
             merged_paths.append(out_path)
             for path in batch:
                 os.remove(path)

@@ -1,0 +1,193 @@
+"""Deterministic fault injection over the storage I/O seam.
+
+Every durable byte the backends write crosses a small set of
+operations in :mod:`repro.storage.wal` — payload writes, file fsyncs,
+directory fsyncs, renames, record removals.  This module is the
+injectable shim over that seam: tests install a :class:`FaultInjector`
+(via :func:`inject`) and the seam consults it before each operation, so
+a drill can
+
+* **crash** the process (raise :class:`CrashPoint`) at the *N*-th
+  crashable operation — enumerating *N* over a whole ``ingest`` or
+  ``recode`` visits every intermediate on-disk state the real operation
+  can be killed in;
+* **truncate** a payload write at byte *k* or **flip a bit** in it,
+  simulating torn writes and silent media corruption;
+* **fail transiently** with ``EIO``/``ENOSPC`` for the first *t*
+  attempts, exercising the seam's bounded retry-with-backoff.
+
+Without an active injector every hook is a no-op, so production code
+pays one ``is None`` check per durable operation.
+
+:class:`CrashPoint` subclasses :class:`BaseException` on purpose: the
+commit machinery's cleanup handlers re-raise it, and ordinary
+``except Exception`` recovery code cannot accidentally swallow a
+simulated death.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import re
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, TypeVar
+
+#: Operation kinds the seam reports (and a crash can target).
+OP_KINDS = ("write", "fsync", "dirsync", "replace", "remove")
+
+#: Errnos the seam treats as transient and retries with backoff.
+TRANSIENT_ERRNOS = (errno.EIO, errno.ENOSPC)
+
+#: Bounded retry schedule for transient I/O errors: attempts and the
+#: base of the exponential backoff (seconds).  Kept tiny — the seam
+#: must never hide a persistent fault behind a long stall.
+RETRY_ATTEMPTS = 4
+RETRY_BASE_DELAY = 0.002
+
+_T = TypeVar("_T")
+
+
+class CrashPoint(BaseException):
+    """Simulated process death at an injected point."""
+
+
+class FaultInjector:
+    """One drill's fault plan plus its operation log.
+
+    The injector is deterministic: operations are counted in the order
+    the seam performs them, so ``crash_at_op(n)`` after a counting dry
+    run (``crash_at = None``) reproduces the exact same intermediate
+    state every time.
+    """
+
+    def __init__(self) -> None:
+        #: Crashable operations seen so far (the enumeration axis).
+        self.op_count = 0
+        #: Raise :class:`CrashPoint` *before* executing this op index.
+        self.crash_at: Optional[int] = None
+        #: Restrict crashes to these op kinds (default: all).
+        self.crash_kinds = frozenset(OP_KINDS)
+        #: ``(kind, path)`` log of every seam operation, for debugging
+        #: and for sizing the enumeration.
+        self.log: list[tuple[str, str]] = []
+        self._truncates: list[tuple[re.Pattern, int]] = []
+        self._flips: list[tuple[re.Pattern, int]] = []
+        # (kind, pattern, errno, remaining-failures)
+        self._transients: list[list] = []
+
+    # -- plan construction -------------------------------------------------
+
+    def crash_at_op(self, index: int, kinds: Optional[tuple] = None) -> "FaultInjector":
+        """Die immediately before the ``index``-th counted operation."""
+        self.crash_at = index
+        if kinds is not None:
+            self.crash_kinds = frozenset(kinds)
+        return self
+
+    def truncate_write(self, pattern: str, at_byte: int) -> "FaultInjector":
+        """Cut payload writes to matching paths off at byte ``at_byte``."""
+        self._truncates.append((re.compile(pattern), at_byte))
+        return self
+
+    def flip_bit(self, pattern: str, bit: int) -> "FaultInjector":
+        """Flip one bit (global bit index) in writes to matching paths."""
+        self._flips.append((re.compile(pattern), bit))
+        return self
+
+    def fail_transient(
+        self, kind: str, pattern: str, err: int, times: int
+    ) -> "FaultInjector":
+        """Fail the first ``times`` matching operations with ``err``."""
+        if kind not in OP_KINDS:
+            raise ValueError(f"Unknown op kind {kind!r}")
+        self._transients.append([kind, re.compile(pattern), err, times])
+        return self
+
+    # -- seam hooks --------------------------------------------------------
+
+    def before_op(self, kind: str, path: str) -> None:
+        """Count one crashable operation; maybe die or fail it."""
+        self.log.append((kind, path))
+        index = self.op_count
+        self.op_count += 1
+        if (
+            self.crash_at is not None
+            and index == self.crash_at
+            and kind in self.crash_kinds
+        ):
+            raise CrashPoint(f"crashed before op {index}: {kind} {path}")
+        for rule in self._transients:
+            rule_kind, pattern, err, remaining = rule
+            if rule_kind == kind and remaining > 0 and pattern.search(path):
+                rule[3] -= 1
+                raise OSError(err, os.strerror(err), path)
+
+    def filter_payload(self, path: str, data: bytes) -> bytes:
+        """Corrupt a payload about to be written (torn write / bit rot)."""
+        for pattern, at_byte in self._truncates:
+            if pattern.search(path):
+                data = data[:at_byte]
+        for pattern, bit in self._flips:
+            if pattern.search(path) and data:
+                index = (bit // 8) % len(data)
+                mutated = bytearray(data)
+                mutated[index] ^= 1 << (bit % 8)
+                data = bytes(mutated)
+        return data
+
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The installed injector, or ``None`` outside a drill."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` over the storage seam for the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+def before_op(kind: str, path: str) -> None:
+    """Seam-side hook: announce a crashable operation."""
+    if _ACTIVE is not None:
+        _ACTIVE.before_op(kind, path)
+
+
+def filter_payload(path: str, data: bytes) -> bytes:
+    """Seam-side hook: let the drill corrupt an outgoing payload."""
+    if _ACTIVE is not None:
+        return _ACTIVE.filter_payload(path, data)
+    return data
+
+
+def retry_transient(
+    operation: Callable[[], _T],
+    attempts: int = RETRY_ATTEMPTS,
+    base_delay: float = RETRY_BASE_DELAY,
+) -> _T:
+    """Run ``operation``, retrying transient ``EIO``/``ENOSPC`` failures.
+
+    The backend I/O seam wraps its durable writes in this: a flaky
+    device costs a few bounded retries instead of a failed commit,
+    while persistent faults (or any other errno) propagate unchanged
+    after the last attempt.
+    """
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except OSError as error:
+            if error.errno not in TRANSIENT_ERRNOS or attempt + 1 >= attempts:
+                raise
+            time.sleep(base_delay * (2**attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

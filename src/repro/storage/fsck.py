@@ -1,0 +1,817 @@
+"""``xarch fsck``: scrub an archive's on-disk state, optionally repair.
+
+The scrub works at the *file* level — it never goes through
+:func:`~repro.storage.backend.open_archive`, whose constructor would
+silently run WAL recovery and hide exactly the states fsck exists to
+report.  It walks manifest ↔ payload files ↔ checksum sidecar ↔ WAL
+state ↔ key-spec fingerprint and cross-checks ``.presence`` sidecars
+against actual chunk contents, emitting one structured
+:class:`Finding` per problem.
+
+Repair (``--repair``) follows one rule: **rebuild everything
+derivable, quarantine — never delete — everything that is not**.
+
+* WAL state (pending or torn records, stray ``*.tmp``) → run the
+  deterministic recovery of :class:`~repro.storage.wal.WriteAheadLog`;
+* ``.presence`` sidecars, ``versions.txt``, the manifest and the
+  checksum sidecar are all derivable from healthy payloads → rebuilt;
+* payload files (chunks, the whole-file archive, the event stream)
+  are *not* derivable → a payload that fails its checksum but still
+  decodes is re-recorded (stale checksum), one that does not decode is
+  moved into ``quarantine/`` and remembered in the sidecar so reads
+  raise a typed error instead of serving garbage.
+
+``--deep`` additionally decodes and parses every payload (XML parse
+per chunk/file, a full event-stream walk for the external backend), so
+corruption that preserves the checksummed bytes-at-rest (a bug, not
+bit rot) is still caught.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.archive import ArchiveError
+from .backend import (
+    MANIFEST_NAME,
+    Manifest,
+    detect_backend_kind,
+    key_spec_fingerprint,
+    keys_location,
+    manifest_location,
+)
+from .codec import CodecError, get_codec
+from .integrity import (
+    CHECKSUMS_NAME,
+    QUARANTINE_DIR,
+    ChecksumSidecar,
+    IntegrityError,
+    hash_file,
+)
+from .wal import WalError, WriteAheadLog, atomic_write_text
+
+#: Every finding code fsck can emit, with a one-line meaning.
+FINDING_CODES = {
+    "wal-pending": "an interrupted commit's WAL record is still present",
+    "wal-torn": "the WAL record is torn or corrupt (never a committed intent)",
+    "stray-tmp": "a staged *.tmp file no WAL record claims",
+    "manifest-missing": "the archive has no manifest",
+    "manifest-corrupt": "the manifest fails to parse or self-verify",
+    "manifest-inconsistent": "the manifest contradicts the files on disk",
+    "key-spec-mismatch": "the keys file does not match the manifest fingerprint",
+    "checksums-missing": "payloads exist but no checksum sidecar covers them",
+    "checksums-corrupt": "the checksum sidecar fails to parse or self-verify",
+    "missing-payload": "a checksummed payload is missing on disk",
+    "checksum-mismatch": "a payload's bytes do not match their recorded checksum",
+    "truncated-payload": "a payload is shorter than its recorded size",
+    "unchecksummed": "a payload exists with no recorded checksum",
+    "undecodable": "a payload fails to decode or parse",
+    "presence-mismatch": "a .presence sidecar disagrees with its chunk's contents",
+    "quarantined": "a payload was previously quarantined by fsck --repair",
+}
+
+
+@dataclass
+class Finding:
+    """One problem the scrub found (and possibly repaired)."""
+
+    code: str
+    path: str
+    detail: str
+    repaired: bool = False
+    repair: str = ""
+
+    def __str__(self) -> str:
+        line = f"{self.code}: {self.path} — {self.detail}"
+        if self.repaired:
+            line += f" [repaired: {self.repair}]"
+        elif self.repair:
+            line += f" [repairable: {self.repair}]"
+        return line
+
+
+@dataclass
+class FsckReport:
+    """Everything one scrub pass found."""
+
+    path: str
+    kind: str
+    findings: list[Finding] = field(default_factory=list)
+    repair: bool = False
+    deep: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def unrepaired(self) -> list[Finding]:
+        return [finding for finding in self.findings if not finding.repaired]
+
+    def add(self, code: str, path: str, detail: str, repair: str = "") -> Finding:
+        finding = Finding(code=code, path=path, detail=detail, repair=repair)
+        self.findings.append(finding)
+        return finding
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "path": self.path,
+                "kind": self.kind,
+                "clean": self.clean,
+                "repair": self.repair,
+                "deep": self.deep,
+                "findings": [
+                    {
+                        "code": finding.code,
+                        "path": finding.path,
+                        "detail": finding.detail,
+                        "repaired": finding.repaired,
+                        "repair": finding.repair,
+                    }
+                    for finding in self.findings
+                ],
+            },
+            indent=2,
+        )
+
+    def __str__(self) -> str:
+        lines = [str(finding) for finding in self.findings]
+        if self.clean:
+            lines.append(f"{self.path}: clean ({self.kind} archive)")
+        else:
+            repaired = sum(1 for finding in self.findings if finding.repaired)
+            summary = f"{self.path}: {len(self.findings)} finding(s)"
+            if repaired:
+                summary += f", {repaired} repaired"
+            lines.append(summary)
+        return "\n".join(lines)
+
+
+def fsck_archive(
+    path: "str | os.PathLike",
+    *,
+    keys_file: "Optional[str | os.PathLike]" = None,
+    repair: bool = False,
+    deep: bool = False,
+) -> FsckReport:
+    """Scrub the archive at ``path``; repair derivable damage when asked."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise ArchiveError(f"No archive at {path!r}")
+    try:
+        kind = detect_backend_kind(path)
+    except IntegrityError:
+        # The manifest itself is corrupt — exactly what fsck exists to
+        # report.  Fall back to layout sniffing so the scrub can run.
+        kind = _sniff_kind(path)
+    report = FsckReport(path=path, kind=kind, repair=repair, deep=deep)
+    scrubber = _Scrubber(path, kind, report, keys_file=keys_file)
+    scrubber.run()
+    return report
+
+
+def _sniff_kind(path: str) -> str:
+    """Layout-only kind detection (never trusts the manifest)."""
+    if os.path.isfile(path):
+        return "file"
+    if os.path.exists(os.path.join(path, "archive.jsonl")):
+        return "external"
+    return "chunked"
+
+
+class _Scrubber:
+    """One scrub pass's working state."""
+
+    def __init__(
+        self,
+        path: str,
+        kind: str,
+        report: FsckReport,
+        keys_file: "Optional[str | os.PathLike]" = None,
+    ) -> None:
+        self.path = path
+        self.kind = kind
+        self.report = report
+        self.repair = report.repair
+        self.deep = report.deep
+        self.keys_file = os.fspath(keys_file) if keys_file is not None else None
+        self.directory = path if os.path.isdir(path) else os.path.dirname(path)
+        self.is_dir = os.path.isdir(path)
+        self.manifest: Optional[Manifest] = None
+        self.sidecar: Optional[ChecksumSidecar] = None
+        self.codec = None
+        #: Set when a repair changed the sidecar; it republishes once.
+        self._sidecar_dirty = False
+
+    # -- helpers -----------------------------------------------------------
+
+    def _wal_path(self) -> str:
+        if self.is_dir:
+            return os.path.join(self.path, "wal.json")
+        return self.path + ".wal"
+
+    def _rel(self, full: str) -> str:
+        return os.path.relpath(full, self.directory) if self.is_dir else (
+            os.path.basename(full)
+        )
+
+    def _payload_files(self) -> list[str]:
+        """The archive's payload files (absolute paths)."""
+        if self.kind == "file":
+            return [self.path] if os.path.isfile(self.path) else []
+        names = sorted(os.listdir(self.path))
+        payloads = []
+        for name in names:
+            full = os.path.join(self.path, name)
+            if not os.path.isfile(full):
+                continue
+            if self.kind == "chunked" and (
+                (name.startswith("chunk-") and name.endswith(".xml"))
+                or name.endswith(".presence")
+                or name == "versions.txt"
+            ):
+                payloads.append(full)
+            elif self.kind == "external" and name == "archive.jsonl":
+                payloads.append(full)
+        return payloads
+
+    def _quarantine(self, full: str, finding: Finding) -> None:
+        """Move an unrepairable payload aside — never delete it."""
+        name = os.path.basename(full)
+        if not self.repair:
+            finding.repair = "quarantine the payload"
+            return
+        quarantine = os.path.join(self.directory, QUARANTINE_DIR)
+        os.makedirs(quarantine, exist_ok=True)
+        target = os.path.join(quarantine, name)
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(quarantine, f"{name}.{suffix}")
+        os.replace(full, target)
+        if self.sidecar is not None:
+            self.sidecar.quarantine(name)
+            self._sidecar_dirty = True
+        finding.repaired = True
+        finding.repair = f"moved to {os.path.relpath(target, self.directory)}"
+
+    def _decodes(self, full: str) -> bool:
+        """Whether a payload decodes (and parses) under the codec."""
+        name = os.path.basename(full)
+        try:
+            if name.endswith(".presence"):
+                from ..core.versionset import VersionSet
+
+                with open(full, "r", encoding="utf-8") as handle:
+                    VersionSet.parse(handle.read())
+            elif name == "versions.txt":
+                with open(full, "r", encoding="utf-8") as handle:
+                    int(handle.read().strip() or "0")
+            elif name == "archive.jsonl":
+                from .events import IOStats, read_events
+
+                for _ in read_events(full, IOStats(), self.codec):
+                    pass
+            else:  # chunk files and the whole-file archive: XML payloads
+                from ..xmltree.parser import parse_document
+
+                with open(full, "rb") as handle:
+                    data = handle.read()
+                parse_document(get_codec(self.codec).decode_document(data))
+        except (
+            IntegrityError,
+            CodecError,
+            ValueError,
+            OSError,
+            UnicodeDecodeError,
+            EOFError,
+        ):
+            return False
+        return True
+
+    # -- the pass ----------------------------------------------------------
+
+    def run(self) -> None:
+        self._scrub_wal()
+        self._load_manifest()
+        if self.codec is None:
+            # No (usable) manifest: fall back to payload magic bytes so
+            # decode checks don't misclassify healthy encoded payloads.
+            self.codec = self._sniff_codec()
+        self._load_sidecar()
+        self._scrub_key_spec()
+        self._scrub_payloads()
+        if self.kind == "chunked":
+            self._scrub_chunked()
+        if self.kind == "external":
+            self._scrub_external()
+        self._flush_sidecar()
+
+    def _scrub_wal(self) -> None:
+        wal = WriteAheadLog(self._wal_path())
+        torn = False
+        record = None
+        try:
+            record = wal.read_record()
+        except WalError as error:
+            torn = True
+            finding = self.report.add(
+                "wal-torn",
+                self._rel(wal.path),
+                str(error),
+                repair="discard the record and roll staged files back",
+            )
+            if self.repair:
+                wal.recover(stray_tmps=self._stray_tmps())
+                finding.repaired = True
+                finding.repair = "discarded; staged files rolled back"
+        if record is not None:
+            finding = self.report.add(
+                "wal-pending",
+                self._rel(wal.path),
+                f"interrupted commit of {len(record.get('entries', []))} "
+                f"file(s) awaiting recovery",
+                repair="run WAL recovery (roll back or forward)",
+            )
+            if self.repair:
+                outcome = wal.recover(stray_tmps=self._stray_tmps())
+                finding.repaired = True
+                finding.repair = f"recovered ({outcome})"
+                # The manifest/sidecar may have just changed on disk.
+        if record is None and not torn:
+            claimed: set = set()
+            for tmp in self._stray_tmps():
+                if not os.path.exists(tmp) or tmp in claimed:
+                    continue
+                finding = self.report.add(
+                    "stray-tmp",
+                    self._rel(tmp),
+                    "staged file with no commit record (crash mid-stage)",
+                    repair="remove the unclaimed staging file",
+                )
+                if self.repair:
+                    os.remove(tmp)
+                    finding.repaired = True
+                    finding.repair = "removed"
+
+    def _stray_tmps(self) -> list[str]:
+        if self.is_dir:
+            return [
+                os.path.join(self.path, name)
+                for name in os.listdir(self.path)
+                if name.endswith(".tmp")
+            ]
+        return [
+            self.path + ".tmp",
+            manifest_location(self.path) + ".tmp",
+            self._wal_path() + ".tmp",
+        ]
+
+    def _load_manifest(self) -> None:
+        location = manifest_location(self.path)
+        try:
+            with open(location, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            finding = self.report.add(
+                "manifest-missing",
+                self._rel(location),
+                "archive carries no manifest (legacy layout or deleted)",
+                repair="rebuild from the archive's files",
+            )
+            if self.repair:
+                self._rebuild_manifest(finding)
+            return
+        try:
+            self.manifest = Manifest.from_json(raw.decode("utf-8"))
+        except (ArchiveError, UnicodeDecodeError) as error:
+            finding = self.report.add(
+                "manifest-corrupt",
+                self._rel(location),
+                str(error),
+                repair="rebuild from the archive's files",
+            )
+            if self.repair:
+                self._rebuild_manifest(finding)
+            return
+        self.codec = self.manifest.codec
+        if self.manifest.kind != self.kind:
+            self.report.add(
+                "manifest-inconsistent",
+                self._rel(location),
+                f"manifest says kind {self.manifest.kind!r}, layout is "
+                f"{self.kind!r}",
+            )
+
+    def _rebuild_manifest(self, finding: Finding) -> None:
+        """Best-effort manifest reconstruction from derivable state."""
+        codec = self._sniff_codec()
+        version_count = self._derive_version_count(codec)
+        if version_count is None:
+            finding.repair = "unrepairable: version count not derivable"
+            return
+        spec_hash = ""
+        keys_path = self.keys_file or keys_location(self.path)
+        if os.path.exists(keys_path):
+            from ..keys.keyparser import parse_key_spec
+
+            try:
+                with open(keys_path, "r", encoding="utf-8") as handle:
+                    spec_hash = key_spec_fingerprint(parse_key_spec(handle.read()))
+            except ValueError:
+                spec_hash = ""
+        extra: dict = {}
+        if self.kind == "chunked":
+            from .backend import _infer_chunk_count
+
+            extra["chunk_count"] = _infer_chunk_count(self.path)
+        manifest = Manifest(
+            kind=self.kind,
+            key_spec_hash=spec_hash,
+            version_count=version_count,
+            codec=codec,
+            extra=extra,
+        )
+        text = manifest.to_json()
+        atomic_write_text(manifest_location(self.path), text)
+        self.manifest = manifest
+        self.codec = codec
+        if self.sidecar is not None:
+            self.sidecar.record(MANIFEST_NAME, text.encode("utf-8"))
+            self._sidecar_dirty = True
+        else:
+            self._sidecar_dirty = True  # flushed after the sidecar loads
+        finding.repaired = True
+        finding.repair = f"rebuilt ({self.kind}, {version_count} version(s))"
+
+    def _sniff_codec(self) -> str:
+        from .backend import _sniff_backend_codec
+
+        try:
+            return _sniff_backend_codec(self.path, self.kind).name
+        except (OSError, ValueError):
+            return "raw"
+
+    def _derive_version_count(self, codec: str) -> Optional[int]:
+        try:
+            if self.kind == "chunked":
+                meta = os.path.join(self.path, "versions.txt")
+                with open(meta, "r", encoding="utf-8") as handle:
+                    return int(handle.read().strip() or "0")
+            if self.kind == "external":
+                from .events import IOStats, NodeEvent, read_events
+
+                stream = os.path.join(self.path, "archive.jsonl")
+                root = next(iter(read_events(stream, IOStats(), codec)))
+                if isinstance(root, NodeEvent) and root.timestamp is not None:
+                    return root.timestamp.max_version()
+                return None
+            # file: parse the archive root's timestamp attribute
+            from ..core.archive import Archive
+            from ..keys.keyparser import parse_key_spec
+
+            keys_path = self.keys_file or keys_location(self.path)
+            with open(keys_path, "r", encoding="utf-8") as handle:
+                spec = parse_key_spec(handle.read())
+            with open(self.path, "rb") as handle:
+                text = get_codec(codec).decode_document(handle.read())
+            return Archive.from_xml_string(text, spec).last_version
+        except (OSError, ValueError, EOFError, StopIteration):
+            return None
+
+    def _load_sidecar(self) -> None:
+        if self.kind == "file":
+            return  # the whole-file backend records its checksum in the manifest
+        location = os.path.join(self.path, CHECKSUMS_NAME)
+        try:
+            self.sidecar = ChecksumSidecar.load(location)
+        except IntegrityError as error:
+            finding = self.report.add(
+                "checksums-corrupt",
+                self._rel(location),
+                str(error),
+                repair="rebuild from the payloads on disk",
+            )
+            self.sidecar = ChecksumSidecar(location)
+            if self.repair:
+                self._rebuild_sidecar(finding)
+            return
+        if not self.sidecar.present and self._payload_files():
+            finding = self.report.add(
+                "checksums-missing",
+                self._rel(location),
+                "payloads exist with no checksum sidecar (pre-integrity "
+                "archive)",
+                repair="build the sidecar from the payloads on disk",
+            )
+            if self.repair:
+                self._rebuild_sidecar(finding)
+
+    def _rebuild_sidecar(self, finding: Finding) -> None:
+        assert self.sidecar is not None
+        rebuilt = 0
+        for full in self._payload_files():
+            if self._decodes(full):
+                digest, size = hash_file(full)
+                self.sidecar.entries[os.path.basename(full)] = {
+                    "sha256": digest,
+                    "bytes": size,
+                }
+                rebuilt += 1
+        location = manifest_location(self.path)
+        if os.path.exists(location):
+            with open(location, "rb") as handle:
+                self.sidecar.record(MANIFEST_NAME, handle.read())
+        self._sidecar_dirty = True
+        finding.repaired = True
+        finding.repair = f"rebuilt covering {rebuilt} payload(s)"
+
+    def _scrub_key_spec(self) -> None:
+        if self.manifest is None or not self.manifest.key_spec_hash:
+            return
+        keys_path = self.keys_file or keys_location(self.path)
+        if not os.path.exists(keys_path):
+            return
+        from ..keys.keyparser import parse_key_spec
+
+        try:
+            with open(keys_path, "r", encoding="utf-8") as handle:
+                fingerprint = key_spec_fingerprint(parse_key_spec(handle.read()))
+        except ValueError as error:
+            self.report.add(
+                "key-spec-mismatch",
+                self._rel(keys_path),
+                f"keys file does not parse: {error}",
+            )
+            return
+        if fingerprint != self.manifest.key_spec_hash:
+            self.report.add(
+                "key-spec-mismatch",
+                self._rel(keys_path),
+                "keys file fingerprint differs from the manifest's "
+                "(wrong or edited keys file)",
+            )
+
+    def _scrub_payloads(self) -> None:
+        """Hash every payload against its recorded checksum."""
+        on_disk = {os.path.basename(full): full for full in self._payload_files()}
+        entries: dict[str, dict] = {}
+        if self.kind == "file":
+            if self.manifest is not None and self.manifest.extra.get("payload"):
+                entries = {
+                    os.path.basename(self.path): self.manifest.extra["payload"]
+                }
+        elif self.sidecar is not None:
+            entries = {
+                name: entry
+                for name, entry in self.sidecar.entries.items()
+                if name != MANIFEST_NAME
+            }
+            for name in sorted(self.sidecar.quarantined):
+                self.report.add(
+                    "quarantined",
+                    name,
+                    "payload was moved aside by an earlier fsck --repair",
+                )
+            self._scrub_manifest_entry()
+        for name in sorted(set(entries) | set(on_disk)):
+            full = on_disk.get(name)
+            expected = entries.get(name)
+            if expected is None:
+                if self.sidecar is not None and self.sidecar.present:
+                    self.report.add(
+                        "unchecksummed",
+                        name,
+                        "payload has no recorded checksum",
+                        repair="record its checksum (after verifying it decodes)",
+                    )
+                    if self.repair:
+                        finding = self.report.findings[-1]
+                        if self._decodes(full):
+                            digest, size = hash_file(full)
+                            self.sidecar.entries[name] = {
+                                "sha256": digest,
+                                "bytes": size,
+                            }
+                            self._sidecar_dirty = True
+                            finding.repaired = True
+                            finding.repair = "checksum recorded"
+                        else:
+                            self._quarantine(full, finding)
+                continue
+            if full is None:
+                finding = self.report.add(
+                    "missing-payload",
+                    name,
+                    "recorded in the checksum sidecar but missing on disk "
+                    "(deleted or lost)",
+                    repair="forget the entry (the data itself is unrecoverable)",
+                )
+                if self.repair and self.sidecar is not None:
+                    self.sidecar.forget(name)
+                    self._sidecar_dirty = True
+                    finding.repaired = True
+                    finding.repair = "entry forgotten; payload remains lost"
+                continue
+            digest, size = hash_file(full)
+            if digest == expected.get("sha256"):
+                if self.deep and not self._decodes(full):
+                    finding = self.report.add(
+                        "undecodable",
+                        name,
+                        "checksum matches but the payload does not decode "
+                        "(written corrupt)",
+                    )
+                    self._quarantine(full, finding)
+                continue
+            recorded_size = expected.get("bytes")
+            if isinstance(recorded_size, int) and size < recorded_size:
+                code, detail = (
+                    "truncated-payload",
+                    f"{size} of {recorded_size} recorded bytes on disk",
+                )
+            else:
+                code, detail = (
+                    "checksum-mismatch",
+                    f"sha256 {digest[:12]}… differs from recorded "
+                    f"{str(expected.get('sha256'))[:12]}…",
+                )
+            finding = self.report.add(
+                code,
+                name,
+                detail,
+                repair="re-record if it decodes, quarantine otherwise",
+            )
+            if not self.repair:
+                continue
+            if name.endswith(".presence"):
+                continue  # derivable: rebuilt by the chunked cross-check
+            if self._decodes(full):
+                self._record_checksum(name, full)
+                finding.repaired = True
+                finding.repair = "payload decodes; checksum re-recorded"
+            else:
+                self._quarantine(full, finding)
+
+    def _scrub_manifest_entry(self) -> None:
+        """The sidecar's record of the manifest itself."""
+        assert self.sidecar is not None
+        expected = self.sidecar.entry(MANIFEST_NAME)
+        if expected is None:
+            return
+        location = manifest_location(self.path)
+        if not os.path.exists(location):
+            # A bare missing manifest was already reported by the load.
+            if not any(
+                finding.code == "manifest-missing"
+                for finding in self.report.findings
+            ):
+                finding = self.report.add(
+                    "missing-payload",
+                    MANIFEST_NAME,
+                    "recorded in the checksum sidecar but missing on disk",
+                    repair="rebuild the manifest",
+                )
+                if self.repair:
+                    self._rebuild_manifest(finding)
+            return
+        digest, _size = hash_file(location)
+        if digest != expected.get("sha256"):
+            finding = self.report.add(
+                "checksum-mismatch",
+                MANIFEST_NAME,
+                "manifest bytes differ from the sidecar's record",
+                repair="re-record if it parses, rebuild otherwise",
+            )
+            if not self.repair:
+                return
+            if self.manifest is not None:
+                with open(location, "rb") as handle:
+                    self.sidecar.record(MANIFEST_NAME, handle.read())
+                self._sidecar_dirty = True
+                finding.repaired = True
+                finding.repair = "manifest parses; checksum re-recorded"
+            else:
+                self._rebuild_manifest(finding)
+
+    def _record_checksum(self, name: str, full: str) -> None:
+        digest, size = hash_file(full)
+        if self.kind == "file":
+            if self.manifest is not None:
+                self.manifest.extra["payload"] = {"sha256": digest, "bytes": size}
+                text = self.manifest.to_json()
+                atomic_write_text(manifest_location(self.path), text)
+        elif self.sidecar is not None:
+            self.sidecar.entries[name] = {"sha256": digest, "bytes": size}
+            self.sidecar.quarantined.discard(name)
+            self._sidecar_dirty = True
+
+    # -- backend-specific cross-checks -------------------------------------
+
+    def _scrub_chunked(self) -> None:
+        """Cross-check ``.presence`` sidecars against chunk contents."""
+        from ..core.archive import Archive
+        from ..core.versionset import VersionSet
+        from .chunked import _chunk_presence_of
+
+        spec = self._load_spec()
+        for name in sorted(os.listdir(self.path)):
+            if not (name.startswith("chunk-") and name.endswith(".xml")):
+                continue
+            full = os.path.join(self.path, name)
+            presence_path = full[: -len(".xml")] + ".presence"
+            try:
+                with open(full, "rb") as handle:
+                    text = get_codec(self.codec).decode_document(handle.read())
+                derived = (
+                    _chunk_presence_of(Archive.from_xml_string(text, spec))
+                    if spec is not None
+                    else None
+                )
+            except (CodecError, ValueError, OSError, EOFError):
+                continue  # undecodable chunks were handled by the hash pass
+            if derived is None:
+                continue
+            recorded: Optional[VersionSet] = None
+            try:
+                with open(presence_path, "r", encoding="utf-8") as handle:
+                    recorded = VersionSet.parse(handle.read())
+            except FileNotFoundError:
+                finding = self.report.add(
+                    "presence-mismatch",
+                    self._rel(presence_path),
+                    "presence sidecar missing for a stored chunk",
+                    repair="rebuild from the chunk's contents",
+                )
+                self._rebuild_presence(presence_path, derived, finding)
+                continue
+            except ValueError:
+                recorded = None
+            if recorded is None or recorded.to_text() != derived.to_text():
+                have = recorded.to_text() if recorded is not None else "unparsable"
+                finding = self.report.add(
+                    "presence-mismatch",
+                    self._rel(presence_path),
+                    f"sidecar says {have!r}, chunk contents say "
+                    f"{derived.to_text()!r}",
+                    repair="rebuild from the chunk's contents",
+                )
+                self._rebuild_presence(presence_path, derived, finding)
+
+    def _rebuild_presence(self, presence_path, derived, finding) -> None:
+        if not self.repair:
+            return
+        atomic_write_text(presence_path, derived.to_text())
+        name = os.path.basename(presence_path)
+        if self.sidecar is not None:
+            with open(presence_path, "rb") as handle:
+                self.sidecar.record(name, handle.read())
+            self._sidecar_dirty = True
+        finding.repaired = True
+        finding.repair = "rebuilt from the chunk's contents"
+        # The hash pass deferred this file to us; close its finding too.
+        for earlier in self.report.findings:
+            if earlier.path == name and not earlier.repaired:
+                earlier.repaired = True
+                earlier.repair = "rebuilt from the chunk's contents"
+
+    def _load_spec(self):
+        from ..keys.keyparser import parse_key_spec
+
+        keys_path = self.keys_file or keys_location(self.path)
+        try:
+            with open(keys_path, "r", encoding="utf-8") as handle:
+                return parse_key_spec(handle.read())
+        except (OSError, ValueError):
+            return None
+
+    def _scrub_external(self) -> None:
+        """Deep-walk the event stream so structural damage is caught."""
+        if not self.deep:
+            return
+        stream = os.path.join(self.path, "archive.jsonl")
+        if not os.path.exists(stream):
+            return
+        from .events import IOStats, read_events
+
+        try:
+            for _ in read_events(stream, IOStats(), self.codec):
+                pass
+        except IntegrityError as error:
+            self.report.add(
+                "undecodable", self._rel(stream), str(error),
+                repair="quarantine the stream",
+            )
+
+    def _flush_sidecar(self) -> None:
+        if self.sidecar is not None and self._sidecar_dirty and self.repair:
+            atomic_write_text(self.sidecar.path, self.sidecar.to_json())
+            self.sidecar.present = True
+
+
+#: Callable other modules may monkeypatch in tests.
+FsckRunner = Callable[..., FsckReport]

@@ -32,6 +32,18 @@ Recovery on open inspects the WAL record:
 The roll-back-if-nothing-published rule keeps recovery deterministic:
 either no rename happened (the batch is droppable) or at least one did
 (the batch must complete).
+
+Records carry a self-checksum (SHA-256 over their canonical body), so
+recovery can *classify* an unreadable record deterministically: a
+record that fails to parse or to verify is torn or rotted — and since
+the record itself publishes atomically (tmp + rename), a torn record
+can never have been the commit point, so recovery discards it and
+rolls the staged files back (``"discarded-torn-record"``) instead of
+raising.
+
+Every durable operation here crosses the fault-injection seam of
+:mod:`repro.storage.faults`; payload writes additionally retry
+transient ``EIO``/``ENOSPC`` failures with bounded backoff.
 """
 
 from __future__ import annotations
@@ -40,11 +52,24 @@ import json
 import os
 from typing import Iterable, Optional
 
+from . import faults
+from .integrity import _self_digest
+
 WAL_FORMAT = 1
 
 
 class WalError(ValueError):
-    """Raised when a commit log cannot be interpreted."""
+    """Raised when a commit log cannot be interpreted.
+
+    ``reason`` classifies the failure: ``"torn"`` for a record whose
+    bytes fail to parse or to match their self-checksum (an incomplete
+    or rotted write — never a committed intent), ``"malformed"`` for a
+    structurally wrong but intact record (written by a broken tool).
+    """
+
+    def __init__(self, message: str, reason: str = "torn") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 def fsync_directory(directory: str) -> None:
@@ -53,6 +78,7 @@ def fsync_directory(directory: str) -> None:
     Platforms that refuse ``open`` on directories (Windows) skip the
     sync; the rename itself is still atomic there.
     """
+    faults.before_op("dirsync", directory)
     try:
         fd = os.open(directory, os.O_RDONLY)
     except OSError:
@@ -63,22 +89,32 @@ def fsync_directory(directory: str) -> None:
         os.close(fd)
 
 
+def _write_once(path: str, data: bytes) -> None:
+    faults.before_op("write", path)
+    data = faults.filter_payload(path, data)
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        faults.before_op("fsync", path)
+        os.fsync(handle.fileno())
+
+
 def write_file_durable(path: str, payload: "str | bytes") -> None:
     """Write ``payload`` to ``path`` and fsync the file (not the dir).
 
     Text is written UTF-8; bytes are written verbatim — codec-encoded
     payloads stage through the same durability path as plain text.
+    Transient ``EIO``/``ENOSPC`` failures are retried with bounded
+    backoff; anything persistent propagates.
     """
-    if isinstance(payload, str):
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-    else:
-        with open(path, "wb") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
+    data = payload.encode("utf-8") if isinstance(payload, str) else payload
+    faults.retry_transient(lambda: _write_once(path, data))
+
+
+def replace_file(tmp: str, path: str) -> None:
+    """Rename a staged file over its final name (the seam's commit op)."""
+    faults.before_op("replace", path)
+    os.replace(tmp, path)
 
 
 def atomic_write_text(path: str, text: str) -> None:
@@ -87,7 +123,7 @@ def atomic_write_text(path: str, text: str) -> None:
     never a torn write."""
     tmp = path + ".tmp"
     write_file_durable(tmp, text)
-    os.replace(tmp, path)
+    replace_file(tmp, path)
     fsync_directory(os.path.dirname(os.path.abspath(path)))
 
 
@@ -113,12 +149,17 @@ class WriteAheadLog:
 
     def append(self, entries: list[str], meta: Optional[dict] = None) -> None:
         """Make the intent record durable (recovery's decision input;
-        the commit point is the first rename in :meth:`publish`)."""
+        the commit point is the first rename in :meth:`publish`).
+
+        The record carries a self-checksum so recovery can tell a torn
+        or rotted record from a durable intent.
+        """
         record = {
             "format": WAL_FORMAT,
             "entries": [os.path.relpath(entry, self.directory) for entry in entries],
             "meta": meta or {},
         }
+        record["sha256"] = _self_digest(record)
         atomic_write_text(self.path, json.dumps(record))
 
     def publish(self, entries: list[str]) -> None:
@@ -128,50 +169,90 @@ class WriteAheadLog:
         for entry in entries:
             tmp = entry + ".tmp"
             if os.path.exists(tmp):
-                os.replace(tmp, entry)
+                replace_file(tmp, entry)
         fsync_directory(self.directory)
         self.clear()
 
     def clear(self) -> None:
         if os.path.exists(self.path):
+            faults.before_op("remove", self.path)
             os.remove(self.path)
             fsync_directory(self.directory)
 
     # -- recovery ----------------------------------------------------------
 
     def read_record(self) -> Optional[dict]:
+        """The current intent record, verified; ``None`` when absent.
+
+        Raises :class:`WalError` with ``reason="torn"`` for a record
+        whose bytes fail to parse or to match their self-checksum, and
+        ``reason="malformed"`` for an intact record of the wrong shape.
+        :meth:`recover` turns either into a deterministic outcome
+        rather than propagating.
+        """
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except FileNotFoundError:
             return None
         except (OSError, ValueError) as error:
-            raise WalError(f"Unreadable commit log {self.path!r}: {error}")
+            raise WalError(
+                f"Unreadable commit log {self.path!r}: {error}", reason="torn"
+            )
         if not isinstance(record, dict) or "entries" not in record:
-            raise WalError(f"Malformed commit log {self.path!r}")
+            raise WalError(
+                f"Malformed commit log {self.path!r}", reason="malformed"
+            )
+        recorded = record.pop("sha256", None)
+        if recorded is None:
+            # No self-checksum means no verifiable intent — a flipped
+            # bit inside the key name must not smuggle a record past
+            # verification, so absence is treated as malformed (and
+            # recovery rolls staged files back, never forward).
+            raise WalError(
+                f"Commit log {self.path!r} carries no self-checksum",
+                reason="malformed",
+            )
+        if _self_digest(record) != recorded:
+            raise WalError(
+                f"Commit log {self.path!r} fails its self-checksum "
+                f"(torn or corrupt record)",
+                reason="torn",
+            )
         return record
 
     def recover(self, stray_tmps: Iterable[str] = ()) -> str:
         """Bring the archive directory to a consistent state.
 
-        Returns ``"clean"``, ``"rolled-back"`` or ``"rolled-forward"``.
-        ``stray_tmps`` names tmp files the caller knows could exist
-        (crash mid-stage); they are removed when no commit record claims
-        them.
+        Returns ``"clean"``, ``"rolled-back"``, ``"rolled-forward"`` or
+        ``"discarded-torn-record"``.  ``stray_tmps`` names tmp files
+        the caller knows could exist (crash mid-stage); they are
+        removed when no commit record claims them.
         """
+        # The record's own staging file is never durable intent — a
+        # crash between writing and renaming it leaves the previous
+        # record (or none) in force.  Sweep it first, unconditionally.
+        if os.path.exists(self.path + ".tmp"):
+            os.remove(self.path + ".tmp")
+        discarded = False
         try:
             record = self.read_record()
         except WalError:
-            # A torn record cannot have been the commit point (the
-            # record itself is published atomically); treat as absent.
+            # A torn (or malformed) record cannot have been the commit
+            # point — the record itself is published atomically, so an
+            # unreadable one was never durable intent.  Discard it and
+            # fall through to the no-record path: staged tmps roll back.
             os.remove(self.path)
             record = None
+            discarded = True
         if record is None:
             removed = False
             for tmp in stray_tmps:
                 if os.path.exists(tmp):
                     os.remove(tmp)
                     removed = True
+            if discarded:
+                return "discarded-torn-record"
             return "rolled-back" if removed else "clean"
         entries = [
             os.path.join(self.directory, entry) for entry in record["entries"]
