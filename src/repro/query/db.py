@@ -42,6 +42,7 @@ from ..storage.archiver import ExternalArchiver
 from ..storage.backend import FileBackend, StorageBackend, open_archive
 from ..storage.chunked import ChunkedArchiver
 from ..storage.events import NodeEvent, PeekableEvents, read_events
+from ..storage.parallel import _query_chunk_task
 from ..xmltree.model import Element
 from ..xmltree.xpath import evaluate_steps
 from .exec import MemoryCursor, StreamCursor, node_count, run_plan
@@ -80,6 +81,7 @@ def open_db(
     *,
     keys_file: Optional[str] = None,
     options=None,
+    workers: int = 1,
 ) -> "ArchiveDB":
     """Open an :class:`ArchiveDB` over a path, backend or archive.
 
@@ -87,12 +89,19 @@ def open_db(
     :func:`repro.storage.backend.open_archive` (backend auto-detected
     from the manifest); the database then owns the backend and
     ``close()`` releases it.  Backends and in-memory archives are
-    wrapped without taking ownership.
+    wrapped without taking ownership (their own ``workers`` setting
+    applies; the ``workers`` argument here configures only backends
+    this call opens).
+
+    ``workers`` above 1 evaluates chunk query plans in a process pool
+    on the chunked backend (results and their order are identical to
+    a serial run; ``stats.parallel_chunks``/``workers_used`` report
+    the fan-out).
     """
     if isinstance(source, (Archive, StorageBackend)):
         return ArchiveDB(source)
     backend = open_archive(
-        os.fspath(source), keys_file=keys_file, options=options
+        os.fspath(source), keys_file=keys_file, options=options, workers=workers
     )
     return ArchiveDB(backend, owns_backend=True)
 
@@ -129,6 +138,13 @@ class ArchiveDB:
     def kind(self) -> str:
         """The storage shape queries run against."""
         return "memory" if self.backend is None else self.backend.kind
+
+    @property
+    def workers(self) -> int:
+        """Chunk-loop parallelism of the underlying backend (1 = serial)."""
+        if self.backend is None:
+            return 1
+        return getattr(self.backend, "workers", 1)
 
     @property
     def last_version(self) -> int:
@@ -346,6 +362,14 @@ class ArchiveDB:
         a lazy k-way heap merge, except under a fingerprinter — chunk
         order is then fingerprint order, not key order, so results are
         collected and sorted once.
+
+        When the backend was opened with ``workers > 1``, the live
+        chunks evaluate in its process pool instead: each worker gets
+        the chunk's verified bytes plus the compiled plan (plain,
+        picklable data), returns its ordered result list, and the
+        parent sorts the union on the same ``(anchor, seq)`` key the
+        serial merge uses — same elements, same order, with the
+        worker-side accounting folded back into ``stats``.
         """
 
         def part_stream(index: int) -> Iterator[tuple[tuple, int, Element]]:
@@ -359,8 +383,8 @@ class ArchiveDB:
             for seq, (anchor, element) in enumerate(run_plan(cursor, plan, stats)):
                 yield (anchor, seq, element)
 
-        def run_over(indices) -> Iterator[Element]:
-            streams = []
+        def live_indices(indices) -> list[int]:
+            live = []
             for index in indices:
                 if not backend.part_exists(index):
                     continue
@@ -368,15 +392,52 @@ class ArchiveDB:
                 if presence is not None and version not in presence:
                     stats.chunks_pruned += 1
                     continue
-                streams.append(part_stream(index))
+                live.append(index)
+            return live
+
+        def parallel_items(live: list[int]) -> list[tuple[tuple, int, Element]]:
+            tasks = []
+            for index in live:
+                payload = backend.read_part_payload(index)
+                if payload is None:
+                    continue
+                tasks.append(
+                    (
+                        index,
+                        payload,
+                        backend.codec.name,
+                        backend.spec,
+                        backend.options,
+                        plan,
+                        version,
+                    )
+                )
+            stats.workers_used = max(stats.workers_used, backend.workers)
+            collected: list[tuple[tuple, int, Element]] = []
+            for _index, items, worker_stats in backend.pool.map(
+                _query_chunk_task, tasks
+            ):
+                stats.parallel_chunks += 1
+                stats.merge(worker_stats)
+                collected.extend(items)
+            collected.sort(key=lambda item: (item[0], item[1]))
+            return collected
+
+        def run_over(indices) -> Iterator[Element]:
+            live = live_indices(indices)
             merged: Iterator[tuple[tuple, int, Element]]
-            if backend.options.fingerprinter is not None:
-                collected = [item for stream in streams for item in stream]
+            if backend.workers > 1 and len(live) > 1:
+                merged = iter(parallel_items(live))
+            elif backend.options.fingerprinter is not None:
+                collected = [
+                    item for index in live for item in part_stream(index)
+                ]
                 collected.sort(key=lambda item: (item[0], item[1]))
                 merged = iter(collected)
             else:
                 merged = heapq.merge(
-                    *streams, key=lambda item: (item[0], item[1])
+                    *(part_stream(index) for index in live),
+                    key=lambda item: (item[0], item[1]),
                 )
             for _, _, element in merged:
                 yield element

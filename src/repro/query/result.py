@@ -40,6 +40,13 @@ class QueryStats:
     ``events_skipped`` counts stream events drained without building
     anything (external backend).  ``fallback`` is set when the plan
     abandoned the archive walk for materialize-then-evaluate.
+
+    Parallel chunk fan-out reports through two extra fields:
+    ``parallel_chunks`` counts chunk plans evaluated in worker
+    processes and ``workers_used`` the pool width they ran under (0
+    for an all-serial query).  Worker-local accounting folds back into
+    the parent's stats via :meth:`merge`, so the headline totals are
+    the same work count a serial run would report.
     """
 
     archive_nodes_visited: int = 0
@@ -49,6 +56,8 @@ class QueryStats:
     chunks_pruned: int = 0
     chunks_routed_past: int = 0
     events_skipped: int = 0
+    parallel_chunks: int = 0
+    workers_used: int = 0
     fallback: bool = False
     fallback_reason: Optional[str] = None
 
@@ -65,6 +74,24 @@ class QueryStats:
     def mark_fallback(self, reason: str) -> None:
         self.fallback = True
         self.fallback_reason = reason
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold a worker's chunk-local accounting into this one.
+
+        Counters add; ``workers_used`` keeps the widest pool seen; the
+        fallback flag never travels (workers only ever run planned
+        evaluations — a fallback happens in the parent, before any
+        fan-out).
+        """
+        self.archive_nodes_visited += other.archive_nodes_visited
+        self.tree_probes += other.tree_probes
+        self.nodes_materialized += other.nodes_materialized
+        self.index_lookups += other.index_lookups
+        self.chunks_pruned += other.chunks_pruned
+        self.chunks_routed_past += other.chunks_routed_past
+        self.events_skipped += other.events_skipped
+        self.parallel_chunks += other.parallel_chunks
+        self.workers_used = max(self.workers_used, other.workers_used)
 
 
 class QueryResult:

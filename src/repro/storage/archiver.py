@@ -112,19 +112,23 @@ class ExternalArchiver(StorageBackend):
         page_size: int = DEFAULT_PAGE_SIZE,
         codec: CodecLike = None,
         verify: str = "always",
+        workers: int = 1,
     ) -> None:
         """``memory_budget`` is the node budget of one sorted run — the
         paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity.
         ``codec`` encodes the event stream (and its scratch runs) at
         rest — framed gzip under the compressing codecs, so every pass
         still streams in bounded memory.  ``verify`` sets the stream's
-        checksum policy for reads."""
+        checksum policy for reads.  ``workers`` is accepted for
+        interface uniformity with the chunked backend; the single
+        event stream is merged sequentially by design."""
         directory = os.fspath(directory)
         self.directory = directory
         self.storage_root = directory
         self.spec = spec
         self.memory_budget = memory_budget
         self.fan_in = fan_in
+        self.workers = max(1, int(workers))
         self.verify = validate_policy(verify)
         self.io_stats = IOStats(page_size=page_size)
         os.makedirs(directory, exist_ok=True)

@@ -373,8 +373,12 @@ class FileBackend(StorageBackend):
         options: Optional[ArchiveOptions] = None,
         codec: CodecLike = None,
         verify: str = "always",
+        workers: int = 1,
     ) -> None:
         self.path = os.path.abspath(os.fspath(path))
+        #: Accepted for interface uniformity with the chunked backend;
+        #: a single-file archive has no independent parts to fan out.
+        self.workers = max(1, int(workers))
         self.storage_root = self.path
         self.spec = spec
         self.options = options or ArchiveOptions()
@@ -626,6 +630,7 @@ def open_archive(
     options: Optional[ArchiveOptions] = None,
     verify: str = "always",
     on_corrupt: str = "raise",
+    workers: int = 1,
 ) -> StorageBackend:
     """Open an existing archive, auto-detecting its backend and codec.
 
@@ -640,6 +645,10 @@ def open_archive(
     ``"open"`` — once per file per handle — or ``"never"``);
     ``on_corrupt`` sets the chunked backend's per-chunk degradation
     policy (``"raise"`` or ``"skip"`` corrupt chunks during retrieval).
+    ``workers`` sets the chunk-loop parallelism (a runtime knob, never
+    recorded in the manifest): batch ingest, recode and chunk query
+    fan-out on the chunked backend run per-chunk work in a process
+    pool when it is above 1.
     """
     from .archiver import ExternalArchiver  # local: avoids an import cycle
     from .chunked import ChunkedArchiver
@@ -679,7 +688,9 @@ def open_archive(
         else _sniff_backend_codec(path, kind)
     )
     if kind == "file":
-        return FileBackend(path, spec, options, codec=codec, verify=verify)
+        return FileBackend(
+            path, spec, options, codec=codec, verify=verify, workers=workers
+        )
     if kind == "chunked":
         if manifest is not None and "chunk_count" in manifest.extra:
             chunk_count = int(manifest.extra["chunk_count"])
@@ -693,13 +704,16 @@ def open_archive(
             codec=codec,
             verify=verify,
             on_corrupt=on_corrupt,
+            workers=workers,
         )
     if kind == "external":
         if options is not None and options.compaction:
             # Reject loudly, exactly like create_archive: silently
             # ignoring the flag would hand back a non-compacted archive.
             raise ArchiveError("The external backend does not store weaves")
-        return ExternalArchiver(path, spec, codec=codec, verify=verify)
+        return ExternalArchiver(
+            path, spec, codec=codec, verify=verify, workers=workers
+        )
     raise ArchiveError(f"Unknown backend kind {kind!r} in {path!r} manifest")
 
 
@@ -741,6 +755,7 @@ def create_archive(
     options: Optional[ArchiveOptions] = None,
     force: bool = False,
     codec: CodecLike = None,
+    workers: int = 1,
 ) -> StorageBackend:
     """Create an empty archive of the given backend kind at ``path``.
 
@@ -777,15 +792,17 @@ def create_archive(
         )
     backend: StorageBackend
     if kind == "file":
-        backend = FileBackend(path, spec, options, codec=at_rest)
+        backend = FileBackend(path, spec, options, codec=at_rest, workers=workers)
         backend.persist()
     elif kind == "chunked":
         os.makedirs(path, exist_ok=True)
-        backend = ChunkedArchiver(path, spec, chunk_count, options, codec=at_rest)
+        backend = ChunkedArchiver(
+            path, spec, chunk_count, options, codec=at_rest, workers=workers
+        )
         backend.write_manifest()
     else:
         os.makedirs(path, exist_ok=True)
-        backend = ExternalArchiver(path, spec, codec=at_rest)
+        backend = ExternalArchiver(path, spec, codec=at_rest, workers=workers)
         backend.write_manifest()
     from .wal import atomic_write_text
 

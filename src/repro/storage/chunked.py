@@ -23,7 +23,6 @@ import os
 from typing import Callable, Iterable, Optional
 
 from ..core.archive import Archive, ArchiveOptions, ArchiveStats, ElementHistory
-from ..core.ingest import IngestSession
 from ..core.merge import MergeStats
 from ..core.tempquery import Change, ChangeReport, _step, archive_diff
 from ..core.tstree import ProbeCount
@@ -36,7 +35,6 @@ from .backend import (
     OnVersion,
     RecodeReport,
     StorageBackend,
-    verify_recoded_document,
 )
 from .codec import CodecError, CodecLike, get_codec, sniff_codec
 from .integrity import (
@@ -46,6 +44,7 @@ from .integrity import (
     ManifestInconsistent,
     validate_policy,
 )
+from .parallel import ExecutionPool, _ingest_chunk_task, _recode_chunk_task
 from .wal import Commit, WriteAheadLog, atomic_write_text
 
 #: Per-chunk degradation policies for reads over damaged archives.
@@ -172,6 +171,7 @@ class ChunkedArchiver(StorageBackend):
         codec: CodecLike = None,
         verify: str = "always",
         on_corrupt: str = "raise",
+        workers: int = 1,
     ) -> None:
         if chunk_count < 1:
             raise ChunkedArchiverError("Need at least one chunk")
@@ -196,6 +196,11 @@ class ChunkedArchiver(StorageBackend):
         self.chunks_pruned = 0
         #: Chunks retrieval skipped as corrupt under ``on_corrupt="skip"``.
         self.chunks_skipped_corrupt = 0
+        #: Chunk-loop parallelism: batch ingest, recode and chunk query
+        #: fan-out run their per-chunk work through this pool.  The
+        #: default of one worker is the deterministic serial path.
+        self.pool = ExecutionPool(workers)
+        self.workers = self.pool.workers
         os.makedirs(directory, exist_ok=True)
         self._wal = WriteAheadLog(os.path.join(directory, "wal.json"))
         self._wal.recover(
@@ -270,13 +275,15 @@ class ChunkedArchiver(StorageBackend):
         self._verify_payload(self._meta_path(), data)
         return int(data.decode("utf-8").strip() or "0")
 
-    def _read_chunk_text(self, index: int) -> Optional[str]:
-        """Decoded XML text of a stored chunk (``None`` when absent).
+    def read_part_payload(self, index: int) -> Optional[bytes]:
+        """Verified at-rest bytes of a stored chunk (``None`` when absent).
 
-        The raw bytes verify against the checksum sidecar *before* the
-        codec touches them, so corruption surfaces as a typed
+        The raw bytes verify against the checksum sidecar *before*
+        anything decodes them, so corruption surfaces as a typed
         :class:`~repro.storage.integrity.IntegrityError`, never a
-        confusing decode failure.
+        confusing decode failure.  This is the handoff point to worker
+        processes: workers receive these already-trusted bytes plus the
+        codec *name*, never a live backend handle.
         """
         path = self._chunk_path(index)
         try:
@@ -286,6 +293,13 @@ class ChunkedArchiver(StorageBackend):
             self._check_absent(path)
             return None
         self._verify_payload(path, data)
+        return data
+
+    def _read_chunk_text(self, index: int) -> Optional[str]:
+        """Decoded XML text of a stored chunk (``None`` when absent)."""
+        data = self.read_part_payload(index)
+        if data is None:
+            return None
         return self.codec.decode_document(data)
 
     def _load_chunk(self, index: int) -> Archive:
@@ -501,37 +515,55 @@ class ChunkedArchiver(StorageBackend):
         ``on_version`` is accepted for protocol uniformity but never
         fires: the chunk-major order merges each version's records
         chunk by chunk, so no per-version stats exist to report.
+
+        With ``workers > 1`` the per-chunk merges run in a process
+        pool (:mod:`repro.storage.parallel`): each worker receives the
+        chunk's verified at-rest bytes, the codec name and its slice of
+        every version, and returns the encoded payload.  All results
+        gather *before* the WAL commit begins, so a worker failure
+        stages nothing, and every payload still publishes through the
+        single commit point — crash semantics and output bytes are
+        identical to the serial path, which runs the very same task
+        function inline.
         """
         partitions = [
             self._partition(document) if document is not None else {}
             for document in documents
         ]
+        tasks = []
+        for index in range(self.chunk_count):
+            chunk_exists = os.path.exists(self._chunk_path(index))
+            if not chunk_exists and not any(
+                index in parts for parts in partitions
+            ):
+                continue  # never stored, never mentioned: stay lazy
+            tasks.append(
+                (
+                    index,
+                    self.read_part_payload(index),
+                    self.codec.name,
+                    self.spec,
+                    self.options,
+                    self._version_count,
+                    [parts.get(index) for parts in partitions],
+                )
+            )
+        merged = self.pool.map(_ingest_chunk_task, tasks)
         total = MergeStats()
         pending = self._checksums.copy()
         commit = self._wal.begin()
         # ``on_chunk`` fires only after the commit publishes, so index
-        # caches never adopt state a failed batch rolls back.  Deferral
-        # keeps the touched archives alive until then — no extra peak
-        # memory in practice, since the hook's only caller (the index
-        # maintainer) retains every archive it is handed anyway.
-        landed: list[tuple[int, Archive]] = []
+        # caches never adopt state a failed batch rolls back.
+        landed: list[tuple[int, bytes]] = []
         try:
-            for index in range(self.chunk_count):
-                chunk_exists = os.path.exists(self._chunk_path(index))
-                if not chunk_exists and not any(
-                    index in parts for parts in partitions
-                ):
-                    continue  # never stored, never mentioned: stay lazy
-                archive = self._load_chunk(index)
-                session = IngestSession(archive)
-                for parts in partitions:
-                    # Versions without records for this chunk are empty
-                    # versions locally, keeping timestamps globally aligned.
-                    session.add(parts.get(index))
-                self._stage_chunk(commit, pending, index, archive)
+            for index, encoded, presence_text, stats in merged:
+                self._stage(
+                    commit, pending, self._presence_path(index), presence_text
+                )
+                self._stage(commit, pending, self._chunk_path(index), encoded)
                 if on_chunk is not None:
-                    landed.append((index, archive))
-                total.accumulate(session.stats)
+                    landed.append((index, encoded))
+                total.accumulate(stats)
             self._stage_meta(commit, pending, self._version_count + len(partitions))
         except BaseException:
             commit.abort()  # staging failed: nothing was committed
@@ -542,9 +574,17 @@ class ChunkedArchiver(StorageBackend):
         self._checksums = pending
         total.versions = len(partitions)
         self._version_count += len(partitions)
-        if on_chunk is not None:
-            for index, archive in landed:
-                on_chunk(index, archive)
+        for index, encoded in landed:
+            # The hook wants the merged chunk archive; workers hand
+            # back its published bytes, so rebuild from those — the
+            # same decode ``load_part`` would do on the next read.
+            assert on_chunk is not None
+            on_chunk(
+                index,
+                Archive.from_xml_string(
+                    self.codec.decode_document(encoded), self.spec, self.options
+                ),
+            )
         return total
 
     def retrieve(
@@ -753,23 +793,30 @@ class ChunkedArchiver(StorageBackend):
         the chunk files and the manifest (recording the new codec)
         publish together behind one WAL record, so a crash mid-recode
         recovers to wholly-old or wholly-new encodings.
+
+        With ``workers > 1`` the decode → re-encode → verify work runs
+        per chunk in a process pool; every result gathers before the
+        WAL commit begins, so the atomic wholly-old-or-wholly-new
+        guarantee is untouched.
         """
         target = get_codec(codec)
         old = self.codec
         before = self.total_bytes()
+        tasks = []
+        for index in range(self.chunk_count):
+            # ``self.codec`` is still the old codec here (it moves
+            # only after the commit publishes), so workers decode the
+            # current encoding.
+            payload = self.read_part_payload(index)
+            if payload is None:
+                continue
+            tasks.append((index, payload, old.name, target.name))
+        recoded = self.pool.map(_recode_chunk_task, tasks)
         pending = self._checksums.copy()
         commit = self._wal.begin()
         files = 0
         try:
-            for index in range(self.chunk_count):
-                # ``self.codec`` is still the old codec here (it moves
-                # only after the commit publishes), so the shared chunk
-                # reader decodes the current encoding.
-                text = self._read_chunk_text(index)
-                if text is None:
-                    continue
-                encoded = target.encode_document(text)
-                verify_recoded_document(text, encoded, target)
+            for index, encoded in recoded:
                 self._stage(commit, pending, self._chunk_path(index), encoded)
                 files += 1
             manifest = self._manifest_at(self._version_count)

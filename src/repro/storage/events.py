@@ -30,7 +30,9 @@ never holds more than a frame of compressed history.
 
 from __future__ import annotations
 
+import gzip
 import json
+import zlib
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
@@ -40,6 +42,8 @@ from ..keys.annotate import AnnotatedDocument, KeyLabel
 from ..xmltree.model import Element, Text
 from ..xmltree.parser import parse_document
 from ..xmltree.serializer import to_string
+from .codec import get_codec
+from .integrity import IntegrityError, TruncatedPayload
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -170,8 +174,9 @@ class EventWriter:
     """Writes an event stream to a file, counting logical bytes."""
 
     def __init__(self, path: str, stats: IOStats, codec=None) -> None:
-        from .codec import get_codec
-
+        # ``get_codec`` is resolved at module scope (not per call) and
+        # passes already-resolved Codec objects straight through, so a
+        # backend handing its cached codec down pays no lookup here.
         self._handle = get_codec(codec).open_text_write(path)
         self._stats = stats
 
@@ -200,12 +205,6 @@ def read_events(path: str, stats: IOStats, codec=None) -> Iterator[Event]:
     ends mid-frame — never as a bare ``EOFError``/``zlib.error``/
     ``json.JSONDecodeError`` from whatever layer happened to choke.
     """
-    import gzip
-    import zlib
-
-    from .codec import get_codec
-    from .integrity import IntegrityError, TruncatedPayload
-
     line_number = 0
     try:
         with get_codec(codec).open_text_read(path) as handle:

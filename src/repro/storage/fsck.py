@@ -204,6 +204,10 @@ class _Scrubber:
         self.manifest: Optional[Manifest] = None
         self.sidecar: Optional[ChecksumSidecar] = None
         self.codec = None
+        #: ``(name, Codec)`` cache behind :meth:`_payload_codec` — the
+        #: registry is consulted once per codec name, not once per
+        #: payload decoded.
+        self._resolved_codec = None
         #: Set when a repair changed the sidecar; it republishes once.
         self._sidecar_dirty = False
 
@@ -213,6 +217,14 @@ class _Scrubber:
         if self.is_dir:
             return os.path.join(self.path, "wal.json")
         return self.path + ".wal"
+
+    def _payload_codec(self):
+        """The resolved :class:`~repro.storage.codec.Codec` for
+        ``self.codec``, cached until the name changes (a manifest
+        rebuild or sniff mid-run invalidates it)."""
+        if self._resolved_codec is None or self._resolved_codec[0] != self.codec:
+            self._resolved_codec = (self.codec, get_codec(self.codec))
+        return self._resolved_codec[1]
 
     def _rel(self, full: str) -> str:
         return os.path.relpath(full, self.directory) if self.is_dir else (
@@ -281,7 +293,7 @@ class _Scrubber:
 
                 with open(full, "rb") as handle:
                     data = handle.read()
-                parse_document(get_codec(self.codec).decode_document(data))
+                parse_document(self._payload_codec().decode_document(data))
         except (
             IntegrityError,
             CodecError,
@@ -726,7 +738,7 @@ class _Scrubber:
             presence_path = full[: -len(".xml")] + ".presence"
             try:
                 with open(full, "rb") as handle:
-                    text = get_codec(self.codec).decode_document(handle.read())
+                    text = self._payload_codec().decode_document(handle.read())
                 derived = (
                     _chunk_presence_of(Archive.from_xml_string(text, spec))
                     if spec is not None
