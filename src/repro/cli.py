@@ -152,6 +152,20 @@ def _collect_version_files(sources: list[str]) -> list[str]:
 def cmd_ingest(args: argparse.Namespace) -> int:
     """Batch-merge a directory (or list) of version files end-to-end."""
     files = _collect_version_files(args.sources)
+    if getattr(args, "remote", None):
+        from .client import connect
+
+        with connect(args.remote, archive=args.archive) as db:
+            report = db.ingest(parse_file(path) for path in files)
+        merge = report["merge"]
+        print(
+            f"ingested {report['ingested']} versions into {args.archive} "
+            f"on {args.remote} (versions {report['base_version'] + 1}.."
+            f"{report['last_version']}, generation {report['generation']}): "
+            f"{merge['nodes_inserted']} inserted, "
+            f"{merge['subtrees_skipped']} subtrees skipped"
+        )
+        return 0
     if os.path.exists(args.archive):
         backend = _open(args)
         if args.codec is not None and args.codec != backend.codec.name:
@@ -243,6 +257,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     """Planned temporal XPath through the :class:`ArchiveDB` facade."""
     from .xmltree.serializer import to_string
 
+    if getattr(args, "remote", None):
+        return _cmd_query_remote(args)
     backend = _open(args)
     db = backend.db()
     if args.explain:
@@ -301,6 +317,64 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """The ``query --remote URL`` path: same output, answered by xarchd.
+
+    ``args.archive`` is the archive's *name on the server*, not a local
+    path; the generation the server pinned for the answer reports with
+    ``--stats``.
+    """
+    from .client import connect
+    from .xmltree.serializer import to_string
+
+    if args.explain:
+        raise SystemExit(
+            "xarch: --explain needs the local planner; drop --remote"
+        )
+    with connect(args.remote, archive=args.archive) as db:
+        if args.between is not None:
+            from_version, to_version = args.between
+            prefix = None if args.xpath in ("/", "") else args.xpath
+            count = 0
+            for change in db.between(from_version, to_version).changes(prefix):
+                print(change)
+                count += 1
+            if count == 0:
+                print(
+                    f"no changes between versions {from_version} and "
+                    f"{to_version}" + (f" under {prefix}" if prefix else ""),
+                    file=sys.stderr,
+                )
+            if args.stats:
+                print(
+                    f"{count} change(s) between versions {from_version} and "
+                    f"{to_version} (served at generation "
+                    f"{db.last_generation})",
+                    file=sys.stderr,
+                )
+            return 0
+        version = args.at if args.at is not None else "latest"
+        result = db.at(version).select(args.xpath)
+        count = 0
+        for item in result:
+            print(item if isinstance(item, str) else to_string(item))
+            count += 1
+        if args.stats:
+            stats = result.stats
+            how = (
+                f"snapshot fallback ({stats.fallback_reason})"
+                if stats.fallback
+                else "planned over the archive tree"
+            )
+            print(
+                f"{count} result(s) at version {version} "
+                f"(server generation {result.generation}): {how}; "
+                f"visited {stats.nodes_visited()} nodes on the server",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def cmd_log(args: argparse.Namespace) -> int:
     backend = _open(args)
     history = backend.history(args.path)
@@ -325,6 +399,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     stats = backend.stats()
     print(f"backend:            {backend.kind}")
     print(f"codec:              {backend.codec.name}")
+    print(f"generation:         {stats.generation}")
     print(f"versions:           {stats.versions}")
     print(f"archive nodes:      {stats.nodes}")
     print(f"stored timestamps:  {stats.stored_timestamps}")
@@ -406,6 +481,16 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_remote_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote",
+        metavar="URL",
+        help="run against an xarchd server (http://host:port); the "
+        "archive operand is then the archive's name on the server, "
+        "not a local path",
+    )
+
+
 def _add_workers_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -456,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_options(p_ingest)
     _add_workers_option(p_ingest)
+    _add_remote_option(p_ingest)
     p_ingest.set_defaults(func=cmd_ingest)
 
     p_get = sub.add_parser("get", help="retrieve a past version")
@@ -507,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--keys")
     _add_workers_option(p_query)
+    _add_remote_option(p_query)
     p_query.set_defaults(func=cmd_query)
 
     p_log = sub.add_parser("log", help="temporal history of a keyed element")

@@ -124,6 +124,8 @@ class ArchiveStats:
     (uncompressed) serialization size; ``disk_bytes`` is what the
     storage backend actually keeps at rest — smaller under a
     compressing codec, equal otherwise (and for in-memory archives).
+    ``generation`` is the backend's publication counter (+1 per WAL
+    commit); 0 for in-memory archives and never-persisted stores.
     """
 
     versions: int
@@ -132,6 +134,7 @@ class ArchiveStats:
     serialized_bytes: int
     raw_bytes: int = 0
     disk_bytes: int = 0
+    generation: int = 0
 
     @property
     def compression_ratio(self) -> float:

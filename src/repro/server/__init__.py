@@ -1,0 +1,25 @@
+"""``xarchd`` — the archive server.
+
+Serves every :class:`~repro.query.db.ArchiveDB` operation over
+streaming NDJSON with a multi-reader / single-writer concurrency
+model: each read request pins the archive's published *generation* (the
+monotonic counter every WAL commit advances in the manifest) and
+answers entirely from that consistent view, while ingests serialize
+through a per-archive writer lock around the existing WAL commit
+point.  See :mod:`repro.server.service` for the snapshot protocol and
+:mod:`repro.server.http` for the wire format.
+"""
+
+from .errors import ApiError, ERROR_CODES, classify_exception
+from .http import make_server, serve
+from .service import ArchiveService, Snapshot
+
+__all__ = [
+    "ApiError",
+    "ArchiveService",
+    "ERROR_CODES",
+    "Snapshot",
+    "classify_exception",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,109 @@
+"""The server's error taxonomy: typed exceptions → structured HTTP.
+
+Mirrors the CLI's exit-code discipline (``EXIT_CORRUPT`` for detected
+corruption vs 1 for usage errors) on the wire: every failure maps to a
+machine-readable code from :data:`ERROR_CODES` — the same style as the
+fsck ``FINDING_CODES`` registry — carried in a JSON body::
+
+    {"error": {"code": "corruption-detected", "status": 500,
+               "detail": "...", "type": "IntegrityError",
+               "hint": "run 'xarch fsck <archive>'"}}
+
+so clients branch on ``code``, never on prose.  Corruption classes
+(checksum mismatches, torn WAL records, undecodable payloads) answer
+500 with an fsck hint; bad requests (unknown archive, version out of
+range, malformed XPath or payload) answer 404/400.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compress.xmill import XMillFormatError
+from ..core.archive import ArchiveError
+from ..storage.codec import CodecError
+from ..storage.integrity import IntegrityError
+from ..storage.wal import WalError
+from ..xmltree.parser import XMLSyntaxError
+
+#: Every machine-readable error code the server can answer with, in the
+#: style of the fsck ``FINDING_CODES`` registry: code → (HTTP status,
+#: one-line meaning).  Contract-tested; extend, never repurpose.
+ERROR_CODES: dict[str, tuple[int, str]] = {
+    "archive-not-found": (404, "No archive under that name on this server"),
+    "version-not-archived": (404, "Requested version outside the archived range"),
+    "not-found": (404, "No such route"),
+    "method-not-allowed": (405, "Route exists but not under this HTTP method"),
+    "bad-request": (400, "Malformed query, parameter or path operand"),
+    "bad-payload": (400, "Ingest payload failed to parse"),
+    "corruption-detected": (500, "Stored payload failed its integrity check"),
+    "wal-corrupt": (500, "Write-ahead log is torn or malformed"),
+    "codec-corrupt": (500, "Stored payload failed to decode"),
+    "internal-error": (500, "Unclassified server-side failure"),
+}
+
+#: Codes whose response carries the scrub hint (the CLI's exit-2 class).
+CORRUPTION_CODES = frozenset(
+    {"corruption-detected", "wal-corrupt", "codec-corrupt"}
+)
+
+_VERSION_RANGE_MARKER = "is not in the archive"
+
+
+class ApiError(Exception):
+    """A failure already classified against :data:`ERROR_CODES`.
+
+    Raised by the service layer for conditions HTTP knows about before
+    any backend is touched (unknown archive, malformed operands); the
+    handler converts storage-layer exceptions through
+    :func:`classify_exception` instead.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"Unknown error code {code!r}")
+        super().__init__(detail)
+        self.code = code
+        self.status = ERROR_CODES[code][0]
+        self.detail = detail
+
+
+def classify_exception(error: BaseException) -> tuple[str, int]:
+    """``(code, status)`` for an exception escaping a request.
+
+    Order matters: the corruption classes subclass :class:`ValueError`,
+    so they are tested before the generic bad-request bucket — the same
+    ordering the CLI's exit-code handler uses.
+    """
+    if isinstance(error, ApiError):
+        return error.code, error.status
+    if isinstance(error, IntegrityError):
+        return "corruption-detected", 500
+    if isinstance(error, WalError):
+        return "wal-corrupt", 500
+    if isinstance(error, (CodecError, XMillFormatError)):
+        return "codec-corrupt", 500
+    if isinstance(error, XMLSyntaxError):
+        return "bad-payload", 400
+    if isinstance(error, ArchiveError) and _VERSION_RANGE_MARKER in str(error):
+        return "version-not-archived", 404
+    if isinstance(error, (ArchiveError, ValueError, KeyError)):
+        return "bad-request", 400
+    return "internal-error", 500
+
+
+def error_body(
+    error: BaseException, *, archive: Optional[str] = None
+) -> dict:
+    """The JSON-serializable ``{"error": ...}`` body for a failure."""
+    code, status = classify_exception(error)
+    record = {
+        "code": code,
+        "status": status,
+        "detail": str(error),
+        "type": type(error).__name__,
+    }
+    if code in CORRUPTION_CODES:
+        target = archive if archive else "<archive>"
+        record["hint"] = f"run 'xarch fsck {target}' on the server"
+    return {"error": record}

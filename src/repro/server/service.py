@@ -1,0 +1,299 @@
+"""Snapshot-pinned reads and serialized writes over a directory of archives.
+
+The concurrency model ``xarchd`` promises:
+
+* **Single writer.**  Every ingest against one archive serializes
+  through a per-archive :class:`threading.Lock` and publishes through
+  the backend's existing WAL commit point, so at most one generation is
+  ever in flight.
+
+* **Snapshot-isolated readers.**  A read request *pins* the archive by
+  opening a private, recovery-free backend (``open_archive(...,
+  recover=False)``): the manifest read at open fixes the generation and
+  version count, and the checksum sidecar read at open fixes the byte
+  view every subsequent payload read is verified against.  The store is
+  append-mostly — a published generation only extends timestamps and
+  appends content — so an answer at any version the pin covers is
+  byte-identical in every later generation.  Torn *logical* reads are
+  therefore impossible; the only cross-generation race left is
+  physical: a payload republished between the pin and a read no longer
+  hashes to the pinned checksum view and surfaces as
+  :class:`~repro.storage.integrity.IntegrityError` although nothing is
+  corrupt.  :meth:`ArchiveService.read` reconciles that race by
+  re-pinning and retrying the whole (idempotent, generation-invariant)
+  read a bounded number of times, then — last resort, since a writer
+  publishing continuously can outrun lock-free retries — once more
+  while holding the writer lock, where no publish can race it.  What
+  still fails there is real corruption and propagates to the error
+  taxonomy.
+
+* **No reader-side recovery.**  A plain ``open_archive`` replays WAL
+  recovery, which from a reader thread could roll back the writer's
+  in-flight staged commit; the ``recover=False`` snapshot path skips it
+  (the writer, which holds the lock, recovers on its own opens).
+
+Read callbacks must *fully materialize* their answer before returning
+— the pin is released when the callback does, and laziness would leak
+reads past it.  The HTTP layer streams the materialized answer to the
+client afterwards; serialization cannot fail mid-stream.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, TypeVar
+
+from ..query.db import ArchiveDB
+from ..storage.backend import (
+    StorageBackend,
+    keys_location,
+    manifest_location,
+    open_archive,
+)
+from ..storage.integrity import IntegrityError
+from ..xmltree.model import Element
+from .errors import ApiError
+
+T = TypeVar("T")
+
+#: Sidecar suffixes that make a plain file *part of* an archive rather
+#: than an archive itself, so the listing skips them.
+_SIDECAR_SUFFIXES = (".manifest.json", ".keys", ".wal", ".tmp")
+
+#: How many times a read re-pins before an IntegrityError is believed.
+_RECONCILE_ATTEMPTS = 4
+
+
+@dataclass
+class Snapshot:
+    """One pinned, read-only view of an archive.
+
+    ``generation`` and ``last_version`` come from the manifest the
+    backend read at open; every payload read through ``db`` verifies
+    against the checksum view of the same open.  The attributes stay
+    readable after :meth:`close` — only the backend is released.
+    """
+
+    name: str
+    path: str
+    generation: int
+    last_version: int
+    backend: StorageBackend
+    db: ArchiveDB
+
+    def resolve_version(self, token: str) -> int:
+        """A concrete version number for a request operand.
+
+        ``"latest"`` resolves against the *pin*, so the answer stays on
+        this snapshot's generation even if the writer publishes more
+        versions mid-request.
+        """
+        if token == "latest":
+            if self.last_version == 0:
+                raise ApiError(
+                    "version-not-archived",
+                    f"Archive {self.name!r} is empty (no versions yet)",
+                )
+            return self.last_version
+        try:
+            return int(token)
+        except ValueError:
+            raise ApiError(
+                "bad-request",
+                f"Version operand {token!r} is neither an integer nor 'latest'",
+            )
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+class ArchiveService:
+    """Every served archive under one root directory, by name.
+
+    An archive's *name* is its literal entry name under ``root`` — a
+    file for the whole-file backend (``swissprot.xml``), a directory
+    for the chunked/external backends (``omim-store``).  Names never
+    contain path separators; anything resembling traversal is refused
+    before it touches the filesystem.
+    """
+
+    def __init__(self, root: "str | os.PathLike", *, workers: int = 1) -> None:
+        root = os.path.abspath(os.fspath(root))
+        if not os.path.isdir(root):
+            raise ApiError(
+                "bad-request", f"Server root {root!r} is not a directory"
+            )
+        self.root = root
+        #: Chunk-loop parallelism handed to *writer* opens.  Snapshot
+        #: opens always run ``workers=1``: a per-request process pool
+        #: would cost more than any read it could speed up.
+        self.workers = max(1, int(workers))
+        self._locks_guard = threading.Lock()
+        self._writer_locks: dict[str, threading.Lock] = {}
+
+    # -- naming ------------------------------------------------------------
+
+    def _resolve(self, name: str) -> str:
+        if (
+            not name
+            or name != os.path.basename(name)
+            or name in (".", "..")
+            or name.startswith(".")
+        ):
+            raise ApiError("bad-request", f"Invalid archive name {name!r}")
+        path = os.path.join(self.root, name)
+        if not self._is_archive(path):
+            raise ApiError(
+                "archive-not-found",
+                f"No archive named {name!r} on this server",
+            )
+        return path
+
+    @staticmethod
+    def _is_archive(path: str) -> bool:
+        if os.path.isdir(path):
+            from ..storage.backend import detect_backend_kind
+            from ..core.archive import ArchiveError
+
+            try:
+                detect_backend_kind(path)
+            except ArchiveError:
+                return False
+            return True
+        if os.path.isfile(path):
+            if path.endswith(_SIDECAR_SUFFIXES):
+                return False
+            # A served whole-file archive carries its manifest or keys
+            # sidecar (create_archive writes both); a bare stray file
+            # under the root is not an archive.
+            return os.path.exists(manifest_location(path)) or os.path.exists(
+                keys_location(path)
+            )
+        return False
+
+    def list_archives(self) -> list[dict]:
+        """Name, kind and published generation of every served archive."""
+        from ..storage.backend import detect_backend_kind, read_manifest
+
+        records = []
+        for entry in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, entry)
+            if not self._is_archive(path):
+                continue
+            manifest = read_manifest(path)
+            record = {"name": entry}
+            if manifest is not None:
+                record["kind"] = manifest.kind
+                record["generation"] = manifest.generation
+                record["versions"] = manifest.version_count
+                record["codec"] = manifest.codec
+            else:
+                record["kind"] = detect_backend_kind(path)
+                record["generation"] = 0
+            records.append(record)
+        return records
+
+    # -- the reader path ---------------------------------------------------
+
+    def pin(self, name: str) -> Snapshot:
+        """Open a private, recovery-free snapshot of one archive."""
+        path = self._resolve(name)
+        backend = open_archive(path, workers=1, recover=False)
+        return Snapshot(
+            name=name,
+            path=path,
+            generation=backend.generation,
+            last_version=backend.last_version,
+            backend=backend,
+            db=ArchiveDB(backend),
+        )
+
+    def read(
+        self, name: str, fn: Callable[[Snapshot], T]
+    ) -> tuple[Snapshot, T]:
+        """Run one fully-materializing read callback against a pin.
+
+        Returns the snapshot (already closed) alongside the value, so
+        the caller can report the generation the answer came from.  On
+        :class:`IntegrityError` the read re-pins and retries — the
+        checksum-reconcile loop described in the module docstring —
+        because reads are generation-invariant for any version their
+        pin covers.  After ``_RECONCILE_ATTEMPTS`` lock-free tries the
+        final attempt runs under the writer lock, which separates real
+        corruption (still fails, propagates) from a relentless writer
+        (cannot race a locked read).
+        """
+        for attempt in range(_RECONCILE_ATTEMPTS):
+            try:
+                # The pin itself can race a publish too (sidecar read,
+                # then a payload verified during open), so it sits
+                # inside the retried block alongside the callback.
+                snapshot = self.pin(name)
+                try:
+                    return snapshot, fn(snapshot)
+                finally:
+                    snapshot.close()
+            except IntegrityError:
+                # Let an in-flight publish finish renaming before the
+                # next pin re-reads manifest + checksums + payloads.
+                time.sleep(0.005 * (attempt + 1))
+        # A writer publishing continuously can outrun every lock-free
+        # retry.  The last resort holds the writer lock across the pin
+        # and the read, so no publish can race it — what fails here is
+        # corruption, not a race, and propagates to the taxonomy.
+        with self._writer_lock(name):
+            snapshot = self.pin(name)
+            try:
+                return snapshot, fn(snapshot)
+            finally:
+                snapshot.close()
+
+    # -- the writer path ---------------------------------------------------
+
+    def _writer_lock(self, name: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._writer_locks.get(name)
+            if lock is None:
+                lock = self._writer_locks[name] = threading.Lock()
+            return lock
+
+    def ingest(
+        self, name: str, documents: Iterable[Optional[Element]]
+    ) -> dict:
+        """Merge a sequence of version documents under the writer lock.
+
+        The backend opens with recovery enabled (the lock guarantees no
+        other writer's commit can be in flight) and publishes the whole
+        batch through one WAL commit, so concurrent readers observe the
+        generation either entirely before or entirely after it.
+        """
+        documents = list(documents)
+        if not documents:
+            raise ApiError(
+                "bad-request", "Ingest payload contained no versions"
+            )
+        path = self._resolve(name)
+        with self._writer_lock(name):
+            backend = open_archive(path, workers=self.workers)
+            try:
+                base = backend.last_version
+                stats = backend.ingest_batch(iter(documents))
+                return {
+                    "ingested": stats.versions,
+                    "base_version": base,
+                    "last_version": backend.last_version,
+                    "generation": backend.generation,
+                    "merge": {
+                        "nodes_matched": stats.nodes_matched,
+                        "nodes_inserted": stats.nodes_inserted,
+                        "frontier_content_changes": stats.frontier_content_changes,
+                        "subtrees_skipped": stats.subtrees_skipped,
+                        "nodes_skipped": stats.nodes_skipped,
+                        "frontier_skips": stats.frontier_skips,
+                    },
+                }
+            finally:
+                backend.close()

@@ -50,6 +50,7 @@ from .backend import (
     RecodeReport,
     StorageBackend,
     key_spec_fingerprint,
+    read_manifest,
 )
 from .chunked import (
     ChunkedArchiver,
@@ -113,6 +114,7 @@ class ExternalArchiver(StorageBackend):
         codec: CodecLike = None,
         verify: str = "always",
         workers: int = 1,
+        recover: bool = True,
     ) -> None:
         """``memory_budget`` is the node budget of one sorted run — the
         paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity.
@@ -121,7 +123,10 @@ class ExternalArchiver(StorageBackend):
         still streams in bounded memory.  ``verify`` sets the stream's
         checksum policy for reads.  ``workers`` is accepted for
         interface uniformity with the chunked backend; the single
-        event stream is merged sequentially by design."""
+        event stream is merged sequentially by design.  ``recover=False``
+        skips both WAL recovery and the scratch sweep — for read-only
+        snapshot opens running next to a live writer, whose in-flight
+        staged commit and scratch files must not be touched."""
         directory = os.fspath(directory)
         self.directory = directory
         self.storage_root = directory
@@ -137,14 +142,15 @@ class ExternalArchiver(StorageBackend):
         # interrupted commit before the scratch sweep so the stream,
         # manifest and checksum sidecar agree on one state.
         self._wal = WriteAheadLog(os.path.join(directory, "wal.json"))
-        self._wal.recover(
-            stray_tmps=[
-                os.path.join(directory, name)
-                for name in os.listdir(directory)
-                if name.endswith(".tmp")
-            ]
-        )
-        self._recover()
+        if recover:
+            self._wal.recover(
+                stray_tmps=[
+                    os.path.join(directory, name)
+                    for name in os.listdir(directory)
+                    if name.endswith(".tmp")
+                ]
+            )
+            self._recover()
         self.codec = (
             get_codec(codec)
             if codec is not None
@@ -154,6 +160,11 @@ class ExternalArchiver(StorageBackend):
             os.path.join(directory, CHECKSUMS_NAME)
         )
         self._verified: set[str] = set()
+        try:
+            manifest = read_manifest(directory)
+        except ManifestInconsistent:
+            manifest = None  # fsck's problem, not open's
+        self.generation = manifest.generation if manifest is not None else 0
         if not os.path.exists(self.archive_path):
             if self.verify != "never" and (
                 self._checksums.covers(STREAM_NAME)
@@ -298,6 +309,7 @@ class ExternalArchiver(StorageBackend):
             key_spec_hash=key_spec_fingerprint(self.spec),
             version_count=version_count,
             codec=self.codec.name,
+            generation=self.generation + 1,
             extra=self._manifest_extra(),
         )
         manifest_text = manifest.to_json()
@@ -310,6 +322,7 @@ class ExternalArchiver(StorageBackend):
         self._wal.append(entries, meta={"version_count": version_count})
         self._wal.publish(entries)
         self._checksums = pending
+        self.generation += 1
         self._verified.discard(STREAM_NAME)
 
     def _stage_empty_version(self, number: int, out_path: str) -> None:
@@ -529,6 +542,7 @@ class ExternalArchiver(StorageBackend):
             serialized_bytes=pass_stats.bytes_read,
             raw_bytes=pass_stats.bytes_read,
             disk_bytes=self.archive_bytes(),
+            generation=self.generation,
         )
 
     def to_archive(self, options: Optional[ArchiveOptions] = None) -> Archive:
@@ -574,6 +588,7 @@ class ExternalArchiver(StorageBackend):
             key_spec_hash=key_spec_fingerprint(self.spec),
             version_count=version_count,
             codec=target.name,
+            generation=self.generation + 1,
             extra=self._manifest_extra(),
         )
         staged = self.archive_path + ".tmp"
@@ -614,6 +629,7 @@ class ExternalArchiver(StorageBackend):
         self._wal.publish(entries)
         self.codec = target
         self._checksums = pending
+        self.generation += 1
         self._verified.discard(STREAM_NAME)
         return RecodeReport(
             path=self.directory,

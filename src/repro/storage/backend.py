@@ -64,12 +64,23 @@ OnVersion = Optional[Callable[[int, MergeStats], None]]
 
 @dataclass
 class Manifest:
-    """The self-describing header every archive carries on disk."""
+    """The self-describing header every archive carries on disk.
+
+    ``generation`` is the archive's publication counter: it advances by
+    one with every WAL commit that publishes new state (ingest batch,
+    single version, recode), and the manifest carrying it publishes
+    inside that same commit — so a manifest read *is* a consistent
+    snapshot pin.  Readers that capture a generation can stream against
+    it to completion: the store is append-mostly, so answers about
+    versions the pinned generation already held never change under
+    later publications.
+    """
 
     kind: str
     key_spec_hash: str
     version_count: int
     codec: str = "raw"
+    generation: int = 0
     format_version: int = MANIFEST_FORMAT
     extra: dict = field(default_factory=dict)
 
@@ -78,6 +89,7 @@ class Manifest:
             "format": self.format_version,
             "kind": self.kind,
             "codec": self.codec,
+            "generation": self.generation,
             "key_spec_hash": self.key_spec_hash,
             "version_count": self.version_count,
         }
@@ -108,6 +120,7 @@ class Manifest:
             key_spec_hash=record.get("key_spec_hash", ""),
             version_count=int(record.get("version_count", 0)),
             codec=record.get("codec", "raw"),
+            generation=int(record.get("generation", 0)),
             format_version=int(record.get("format", MANIFEST_FORMAT)),
             extra=record.get("extra", {}),
         )
@@ -216,6 +229,10 @@ class StorageBackend(abc.ABC):
     #: manifest; plain sidecars — keys, presence, versions.txt — are
     #: never encoded).  Every backend sets it in ``__init__``.
     codec: Codec
+    #: Publication counter: +1 per WAL commit that publishes new state.
+    #: Loaded from the manifest at open, written back inside every
+    #: commit — the snapshot pin concurrent readers anchor to.
+    generation: int = 0
 
     @property
     @abc.abstractmethod
@@ -279,6 +296,7 @@ class StorageBackend(abc.ABC):
             key_spec_hash=key_spec_fingerprint(self.spec),
             version_count=self.last_version,
             codec=self.codec.name,
+            generation=self.generation,
             extra=self._manifest_extra(),
         )
 
@@ -374,6 +392,7 @@ class FileBackend(StorageBackend):
         codec: CodecLike = None,
         verify: str = "always",
         workers: int = 1,
+        recover: bool = True,
     ) -> None:
         self.path = os.path.abspath(os.fspath(path))
         #: Accepted for interface uniformity with the chunked backend;
@@ -384,9 +403,10 @@ class FileBackend(StorageBackend):
         self.options = options or ArchiveOptions()
         self.verify = validate_policy(verify)
         self._wal = WriteAheadLog(self.path + ".wal")
-        self._wal.recover(
-            stray_tmps=(self.path + ".tmp", self.manifest_path() + ".tmp")
-        )
+        if recover:
+            self._wal.recover(
+                stray_tmps=(self.path + ".tmp", self.manifest_path() + ".tmp")
+            )
         # An explicit codec wins; otherwise an existing file's magic
         # bytes decide (new archives start raw).
         self.codec = (
@@ -398,6 +418,7 @@ class FileBackend(StorageBackend):
         self._payload_checksum: Optional[dict] = (
             manifest.extra.get("payload") if manifest is not None else None
         )
+        self.generation = manifest.generation if manifest is not None else 0
         self._verified = False
         self._archive: Optional[Archive] = None
 
@@ -441,9 +462,12 @@ class FileBackend(StorageBackend):
         """Publish the archive XML and manifest in one atomic commit."""
         encoded = self.codec.encode_document(self.archive.to_xml_string())
         previous = self._payload_checksum
-        # Record the checksum before building the manifest (the
-        # manifest carries it); restore it if the commit never lands.
+        previous_generation = self.generation
+        # Record the checksum and the next generation before building
+        # the manifest (the manifest carries both); restore them if the
+        # commit never lands.
         self._payload_checksum = checksum_entry(encoded)
+        self.generation += 1
         commit = self._wal.begin()
         try:
             try:
@@ -457,6 +481,7 @@ class FileBackend(StorageBackend):
             commit.commit(meta={"version_count": self.last_version})
         except BaseException:
             self._payload_checksum = previous
+            self.generation = previous_generation
             raise
 
     @property
@@ -502,6 +527,7 @@ class FileBackend(StorageBackend):
             stats.disk_bytes = os.path.getsize(self.path)
         except OSError:
             stats.disk_bytes = stats.raw_bytes  # never persisted yet
+        stats.generation = self.generation
         return stats
 
     def recode(self, codec: CodecLike) -> RecodeReport:
@@ -515,7 +541,9 @@ class FileBackend(StorageBackend):
         encoded = target.encode_document(text)
         verify_recoded_document(text, encoded, target)
         previous_checksum = self._payload_checksum
+        previous_generation = self.generation
         self._payload_checksum = checksum_entry(encoded)
+        self.generation += 1
         manifest = self.manifest()
         manifest.codec = target.name
         commit = self._wal.begin()
@@ -529,6 +557,7 @@ class FileBackend(StorageBackend):
             commit.commit(meta={"version_count": self.last_version})
         except BaseException:
             self._payload_checksum = previous_checksum
+            self.generation = previous_generation
             raise
         # Only a published commit moves the in-memory codec: a failure
         # anywhere above leaves this backend reading the old encoding.
@@ -631,6 +660,7 @@ def open_archive(
     verify: str = "always",
     on_corrupt: str = "raise",
     workers: int = 1,
+    recover: bool = True,
 ) -> StorageBackend:
     """Open an existing archive, auto-detecting its backend and codec.
 
@@ -649,6 +679,10 @@ def open_archive(
     recorded in the manifest): batch ingest, recode and chunk query
     fan-out on the chunked backend run per-chunk work in a process
     pool when it is above 1.
+    ``recover=False`` opens without running WAL recovery — required for
+    read-only snapshot opens that run concurrently with a live writer,
+    where replaying (or rolling back) the writer's in-flight staged
+    commit from a reader thread would corrupt the publication protocol.
     """
     from .archiver import ExternalArchiver  # local: avoids an import cycle
     from .chunked import ChunkedArchiver
@@ -659,18 +693,19 @@ def open_archive(
     # crash mid-publish (of a batch or a recode) may have left the
     # manifest — and the codec/chunk-count it records — staged but not
     # yet renamed.
-    if os.path.isdir(path):
-        WriteAheadLog(os.path.join(path, "wal.json")).recover(
-            stray_tmps=[
-                os.path.join(path, name)
-                for name in os.listdir(path)
-                if name.endswith(".tmp")
-            ]
-        )
-    else:
-        WriteAheadLog(path + ".wal").recover(
-            stray_tmps=(path + ".tmp", manifest_location(path) + ".tmp")
-        )
+    if recover:
+        if os.path.isdir(path):
+            WriteAheadLog(os.path.join(path, "wal.json")).recover(
+                stray_tmps=[
+                    os.path.join(path, name)
+                    for name in os.listdir(path)
+                    if name.endswith(".tmp")
+                ]
+            )
+        else:
+            WriteAheadLog(path + ".wal").recover(
+                stray_tmps=(path + ".tmp", manifest_location(path) + ".tmp")
+            )
     if spec is None:
         from ..keys.keyparser import parse_key_spec
 
@@ -689,7 +724,13 @@ def open_archive(
     )
     if kind == "file":
         return FileBackend(
-            path, spec, options, codec=codec, verify=verify, workers=workers
+            path,
+            spec,
+            options,
+            codec=codec,
+            verify=verify,
+            workers=workers,
+            recover=recover,
         )
     if kind == "chunked":
         if manifest is not None and "chunk_count" in manifest.extra:
@@ -705,6 +746,7 @@ def open_archive(
             verify=verify,
             on_corrupt=on_corrupt,
             workers=workers,
+            recover=recover,
         )
     if kind == "external":
         if options is not None and options.compaction:
@@ -712,7 +754,12 @@ def open_archive(
             # ignoring the flag would hand back a non-compacted archive.
             raise ArchiveError("The external backend does not store weaves")
         return ExternalArchiver(
-            path, spec, codec=codec, verify=verify, workers=workers
+            path,
+            spec,
+            codec=codec,
+            verify=verify,
+            workers=workers,
+            recover=recover,
         )
     raise ArchiveError(f"Unknown backend kind {kind!r} in {path!r} manifest")
 

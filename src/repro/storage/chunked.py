@@ -35,6 +35,7 @@ from .backend import (
     OnVersion,
     RecodeReport,
     StorageBackend,
+    read_manifest,
 )
 from .codec import CodecError, CodecLike, get_codec, sniff_codec
 from .integrity import (
@@ -172,6 +173,7 @@ class ChunkedArchiver(StorageBackend):
         verify: str = "always",
         on_corrupt: str = "raise",
         workers: int = 1,
+        recover: bool = True,
     ) -> None:
         if chunk_count < 1:
             raise ChunkedArchiverError("Need at least one chunk")
@@ -203,13 +205,14 @@ class ChunkedArchiver(StorageBackend):
         self.workers = self.pool.workers
         os.makedirs(directory, exist_ok=True)
         self._wal = WriteAheadLog(os.path.join(directory, "wal.json"))
-        self._wal.recover(
-            stray_tmps=[
-                os.path.join(directory, name)
-                for name in os.listdir(directory)
-                if name.endswith(".tmp")
-            ]
-        )
+        if recover:
+            self._wal.recover(
+                stray_tmps=[
+                    os.path.join(directory, name)
+                    for name in os.listdir(directory)
+                    if name.endswith(".tmp")
+                ]
+            )
         # An explicit codec wins; otherwise an existing chunk file's
         # magic bytes decide (fresh directories start raw).
         self.codec = (
@@ -222,6 +225,11 @@ class ChunkedArchiver(StorageBackend):
         )
         self._verified: set[str] = set()
         self._version_count = self._load_version_count()
+        try:
+            manifest = read_manifest(directory)
+        except ManifestInconsistent:
+            manifest = None  # fsck's problem, not open's
+        self.generation = manifest.generation if manifest is not None else 0
 
     def _sniff_codec(self):
         for index in range(self.chunk_count):
@@ -364,6 +372,10 @@ class ChunkedArchiver(StorageBackend):
     def _manifest_at(self, version_count: int):
         manifest = self.manifest()
         manifest.version_count = version_count
+        # Every staged manifest belongs to the commit that will publish
+        # it, so it carries the *next* generation; the in-memory counter
+        # only advances once that commit actually lands.
+        manifest.generation = self.generation + 1
         return manifest
 
     def _manifest_extra(self) -> dict:
@@ -483,6 +495,7 @@ class ChunkedArchiver(StorageBackend):
         commit.commit(meta={"version_count": self._version_count + 1})
         # Only a published commit moves the in-memory sidecar.
         self._checksums = pending
+        self.generation += 1
         total.versions = 1
         self._version_count += 1
         return total
@@ -572,6 +585,7 @@ class ChunkedArchiver(StorageBackend):
             meta={"version_count": self._version_count + len(partitions)}
         )
         self._checksums = pending
+        self.generation += 1
         total.versions = len(partitions)
         self._version_count += len(partitions)
         for index, encoded in landed:
@@ -775,6 +789,7 @@ class ChunkedArchiver(StorageBackend):
             serialized_bytes=raw_bytes,
             raw_bytes=raw_bytes,
             disk_bytes=self.total_bytes(),
+            generation=self.generation,
         )
 
     def total_bytes(self) -> int:
@@ -831,6 +846,7 @@ class ChunkedArchiver(StorageBackend):
         # anywhere above leaves this backend reading the old encoding.
         self.codec = target
         self._checksums = pending
+        self.generation += 1
         return RecodeReport(
             path=self.directory,
             kind=self.kind,
