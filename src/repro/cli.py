@@ -48,7 +48,7 @@ from .storage.backend import (
     keys_location,
     open_archive,
 )
-from .storage.codec import CODEC_NAMES, CodecError
+from .storage.codec import CODEC_NAMES, CodecError, get_codec
 from .storage.integrity import IntegrityError
 from .storage.wal import WalError
 from .xmltree.parser import parse_file
@@ -457,6 +457,21 @@ def cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _codec_arg(name: str) -> str:
+    """Validate a ``--codec`` operand through the codec registry.
+
+    Every surface that takes a codec name — ``init``, ``ingest``,
+    ``recode``, the library's ``get_codec`` — rejects an unknown name
+    with the same registry message; argparse type errors already exit
+    with the corruption/usage status 2, matching ``EXIT_CORRUPT``.
+    """
+    try:
+        get_codec(name)
+    except CodecError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    return name
+
+
 def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
@@ -473,7 +488,8 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--codec",
-        choices=CODEC_NAMES,
+        type=_codec_arg,
+        metavar="{" + ",".join(CODEC_NAMES) + "}",
         default=None,
         help="at-rest compression codec for a newly created archive "
         "(default raw; existing archives keep their codec — use "
@@ -621,7 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_recode.add_argument("archive")
     p_recode.add_argument(
         "--codec",
-        choices=CODEC_NAMES,
+        type=_codec_arg,
+        metavar="{" + ",".join(CODEC_NAMES) + "}",
         required=True,
         help="target codec (atomic, identity-verified rewrite)",
     )

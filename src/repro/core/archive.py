@@ -126,6 +126,10 @@ class ArchiveStats:
     compressing codec, equal otherwise (and for in-memory archives).
     ``generation`` is the backend's publication counter (+1 per WAL
     commit); 0 for in-memory archives and never-persisted stores.
+    ``cache_hits``/``cache_misses`` count the reporting handle's
+    decoded-chunk cache traffic and ``cache_evictions`` the
+    process-wide cache's evictions; all stay 0 for in-memory archives
+    and handles that don't cache reads.
     """
 
     versions: int
@@ -135,6 +139,9 @@ class ArchiveStats:
     raw_bytes: int = 0
     disk_bytes: int = 0
     generation: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     @property
     def compression_ratio(self) -> float:

@@ -248,6 +248,17 @@ class ArchiveDB:
             return self.backend.archive
         return None
 
+    def _counting_cache(self, stats: QueryStats, loader):
+        """Run a backend load, folding its decoded-chunk cache traffic
+        (hit/miss counter movement on the handle) into the query's
+        stats."""
+        hits = getattr(self.backend, "cache_hits", 0)
+        misses = getattr(self.backend, "cache_misses", 0)
+        result = loader()
+        stats.cache_hits += getattr(self.backend, "cache_hits", 0) - hits
+        stats.cache_misses += getattr(self.backend, "cache_misses", 0) - misses
+        return result
+
     def _check_version(self, version: int) -> None:
         last = self.last_version
         if not 1 <= version <= last:
@@ -296,7 +307,7 @@ class ArchiveDB:
         if reason is not None:
             elements = self._fallback_items(version, plan, stats, reason)
         else:
-            memory = self._memory_archive()
+            memory = self._counting_cache(stats, self._memory_archive)
             if memory is not None:
                 elements = self._memory_items(memory, plan, version, stats)
             elif isinstance(self.backend, ChunkedArchiver):
@@ -321,7 +332,9 @@ class ArchiveDB:
         stats.mark_fallback(reason)
 
         def generate() -> Iterator[Element]:
-            snapshot = self._retrieve(version)
+            snapshot = self._counting_cache(
+                stats, lambda: self._retrieve(version)
+            )
             if snapshot is None:
                 return
             stats.nodes_materialized += node_count(snapshot)
@@ -373,7 +386,9 @@ class ArchiveDB:
         """
 
         def part_stream(index: int) -> Iterator[tuple[tuple, int, Element]]:
-            archive = backend.load_part(index)
+            archive = self._counting_cache(
+                stats, lambda: backend.load_part(index)
+            )
             root_timestamp = archive.root.timestamp
             if root_timestamp is None:
                 return
@@ -491,7 +506,9 @@ class ArchiveDB:
     ) -> Iterator[Element]:
         def generate() -> Iterator[Element]:
             events = PeekableEvents(
-                read_events(backend.archive_path, backend.io_stats)
+                read_events(
+                    backend.archive_path, backend.io_stats, backend.codec
+                )
             )
             root = events.next()
             if not isinstance(root, NodeEvent) or root.timestamp is None:

@@ -47,6 +47,11 @@ class QueryStats:
     for an all-serial query).  Worker-local accounting folds back into
     the parent's stats via :meth:`merge`, so the headline totals are
     the same work count a serial run would report.
+
+    ``cache_hits``/``cache_misses`` count decoded-chunk cache traffic
+    this query caused (both 0 on non-caching handles): a hit means a
+    chunk's decode was skipped entirely because the process-wide cache
+    held it at the chunk's current staleness token.
     """
 
     archive_nodes_visited: int = 0
@@ -58,6 +63,8 @@ class QueryStats:
     events_skipped: int = 0
     parallel_chunks: int = 0
     workers_used: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     fallback: bool = False
     fallback_reason: Optional[str] = None
 
@@ -91,6 +98,8 @@ class QueryStats:
         self.chunks_routed_past += other.chunks_routed_past
         self.events_skipped += other.events_skipped
         self.parallel_chunks += other.parallel_chunks
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         self.workers_used = max(self.workers_used, other.workers_used)
 
 

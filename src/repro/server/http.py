@@ -13,8 +13,10 @@ Routes (all answers are ``application/x-ndjson`` unless noted)::
 
 Streaming responses are chunked-transfer NDJSON: zero or more
 ``{"item": ...}`` lines followed by exactly one ``{"done": {...}}``
-line carrying the result count, the pinned generation, and the query's
-work accounting.  Two response headers make the snapshot observable
+line carrying the result count, the pinned generation, the query's
+work accounting, and a ``cache`` record (whether the snapshot reused
+an open pin, plus pin-cache and decoded-chunk-cache hit/miss/eviction
+counters).  Two response headers make the snapshot observable
 before the body streams: ``X-Archive-Generation`` (the pinned
 generation every item was answered from) and ``X-Result-Kind``
 (``elements`` / ``strings`` / ``changes`` — the
@@ -37,6 +39,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
+from ..storage.cache import chunk_cache
 from ..xmltree.parser import parse_document
 from ..xmltree.serializer import to_string
 from .errors import ApiError, error_body
@@ -111,6 +114,21 @@ class XarchdHandler(BaseHTTPRequestHandler):
         done_record.setdefault("count", len(items))
         done_record.setdefault("generation", snapshot.generation)
         done_record.setdefault("last_version", snapshot.last_version)
+        cache = chunk_cache()
+        done_record.setdefault(
+            "cache",
+            {
+                # Whether this request's snapshot reused an open pin,
+                # plus the server-lifetime pin/chunk cache counters.
+                "snapshot_reused": snapshot.cached,
+                "pin_hits": self.service.pins.hits,
+                "pin_misses": self.service.pins.misses,
+                "pin_evictions": self.service.pins.evictions,
+                "chunk_hits": cache.hits,
+                "chunk_misses": cache.misses,
+                "chunk_evictions": cache.evictions,
+            },
+        )
         self._write_chunk(
             json.dumps({"done": done_record}).encode("utf-8") + b"\n"
         )

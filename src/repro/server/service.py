@@ -32,6 +32,15 @@ The concurrency model ``xarchd`` promises:
   in-flight staged commit; the ``recover=False`` snapshot path skips it
   (the writer, which holds the lock, recovers on its own opens).
 
+* **Shared pins.**  Requests that land on the same published
+  generation share one open backend through a refcounted
+  ``(archive, generation)`` LRU (:class:`_PinCache`) instead of
+  re-opening per request; snapshot opens also share decoded chunks
+  through the process-wide cache of :mod:`repro.storage.cache`.  A
+  publish moves the generation, so new requests stop acquiring the old
+  pin immediately; eviction waits for in-flight readers, then drops
+  the backend's caches and closes it.
+
 Read callbacks must *fully materialize* their answer before returning
 — the pin is released when the callback does, and laziness would leak
 reads past it.  The HTTP layer streams the materialized answer to the
@@ -43,7 +52,8 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, TypeVar
 
 from ..query.db import ArchiveDB
@@ -52,8 +62,9 @@ from ..storage.backend import (
     keys_location,
     manifest_location,
     open_archive,
+    read_manifest,
 )
-from ..storage.integrity import IntegrityError
+from ..storage.integrity import IntegrityError, ManifestInconsistent
 from ..xmltree.model import Element
 from .errors import ApiError
 
@@ -83,6 +94,13 @@ class Snapshot:
     last_version: int
     backend: StorageBackend
     db: ArchiveDB
+    #: Set for snapshots served from the service's pin cache: releases
+    #: the cache reference instead of closing the (shared) backend.
+    release: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Whether this pin was served from an already-open cached backend.
+    cached: bool = field(default=False, compare=False)
 
     def resolve_version(self, token: str) -> int:
         """A concrete version number for a request operand.
@@ -107,7 +125,117 @@ class Snapshot:
             )
 
     def close(self) -> None:
-        self.backend.close()
+        if self.release is not None:
+            self.release()
+        else:
+            self.backend.close()
+
+
+class _PinCache:
+    """Refcounted LRU of open snapshot backends, one per
+    ``(archive, generation)``.
+
+    PR 9's reader path re-opened the archive — manifest, checksum
+    sidecar, WAL probe — on *every* request, even when the pinned
+    generation had not moved.  Concurrent readers at one generation now
+    share a single open backend (safe: snapshot backends are read-only,
+    and their decoded state is idempotent under the GIL), so repeat
+    reads skip the open cost entirely and share decoded chunks through
+    the process-wide cache.
+
+    A new generation gets a new key, so stale entries stop being
+    acquired the moment a publish lands; they are closed once their
+    in-flight readers release them and the LRU trims past ``capacity``.
+    Eviction calls the backend's ``drop_caches()`` before ``close()``
+    so reader memory stays bounded by ``capacity`` live generations
+    plus whatever the byte-budgeted decoded-chunk cache holds.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(0, int(capacity))
+        self._lock = threading.Lock()
+        #: ``(name, generation) -> [backend, db, refs]``
+        self._entries: "OrderedDict[tuple[str, int], list]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _close(entry: list) -> None:
+        entry[0].drop_caches()
+        entry[0].close()
+
+    def _trim(self) -> None:
+        # Close least-recently-used idle entries beyond capacity; busy
+        # entries (refs > 0) cannot close and are skipped — the map may
+        # briefly exceed capacity while every entry is in flight.
+        while len(self._entries) > self.capacity:
+            victim = None
+            for key, entry in self._entries.items():
+                if entry[2] == 0:
+                    victim = key
+                    break
+            if victim is None:
+                return
+            entry = self._entries.pop(victim)
+            self.evictions += 1
+            self._close(entry)
+
+    def acquire(self, key: tuple[str, int]) -> Optional[list]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry[2] += 1
+            self.hits += 1
+            return entry
+
+    def install(self, key: tuple[str, int], backend: StorageBackend) -> list:
+        """Adopt a freshly-opened backend (or join a racing install)."""
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Another thread installed the same pin while this one
+                # was opening; join theirs and drop the duplicate open.
+                existing[2] += 1
+                self._entries.move_to_end(key)
+                backend.close()
+                return existing
+            entry = [backend, ArchiveDB(backend), 1]
+            self._entries[key] = entry
+            self._trim()
+            return entry
+
+    def release(self, key: tuple[str, int], entry: list) -> None:
+        with self._lock:
+            entry[2] -= 1
+            if self._entries.get(key) is not entry:
+                # Evicted (or superseded) while in use: close once the
+                # last in-flight reader lets go.
+                if entry[2] == 0:
+                    self._close(entry)
+                return
+            self._trim()
+
+    def evict(self, name: str) -> None:
+        """Drop every cached pin of one archive (reconcile path)."""
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == name]
+            for key in doomed:
+                entry = self._entries.pop(key)
+                self.evictions += 1
+                if entry[2] == 0:
+                    self._close(entry)
+                # else: release() closes it when the refcount drains.
+
+    def clear(self) -> None:
+        with self._lock:
+            for entry in self._entries.values():
+                if entry[2] == 0:
+                    self._close(entry)
+            self._entries.clear()
 
 
 class ArchiveService:
@@ -120,7 +248,13 @@ class ArchiveService:
     before it touches the filesystem.
     """
 
-    def __init__(self, root: "str | os.PathLike", *, workers: int = 1) -> None:
+    def __init__(
+        self,
+        root: "str | os.PathLike",
+        *,
+        workers: int = 1,
+        pin_cache_size: int = 8,
+    ) -> None:
         root = os.path.abspath(os.fspath(root))
         if not os.path.isdir(root):
             raise ApiError(
@@ -133,6 +267,10 @@ class ArchiveService:
         self.workers = max(1, int(workers))
         self._locks_guard = threading.Lock()
         self._writer_locks: dict[str, threading.Lock] = {}
+        #: Open snapshot backends shared across reader requests at one
+        #: ``(archive, generation)``; ``pin_cache_size=0`` restores the
+        #: open-per-request behaviour.
+        self.pins = _PinCache(pin_cache_size)
 
     # -- naming ------------------------------------------------------------
 
@@ -199,8 +337,42 @@ class ArchiveService:
     # -- the reader path ---------------------------------------------------
 
     def pin(self, name: str) -> Snapshot:
-        """Open a private, recovery-free snapshot of one archive."""
+        """Pin a recovery-free snapshot of one archive.
+
+        A cheap manifest read names the published generation; when the
+        pin cache already holds an open backend for ``(name,
+        generation)``, the request shares it (refcounted) instead of
+        re-opening the archive.  Misses — and manifest-less archives,
+        whose generation cannot be pinned by key — open privately, the
+        opened backend joining the cache on the miss path.
+        """
         path = self._resolve(name)
+        if self.pins.capacity > 0:
+            try:
+                manifest = read_manifest(path)
+            except ManifestInconsistent:
+                manifest = None
+            if manifest is not None:
+                key = (name, manifest.generation)
+                entry = self.pins.acquire(key)
+                cached = entry is not None
+                if entry is None:
+                    backend = open_archive(path, workers=1, recover=False)
+                    # The writer may have published between the manifest
+                    # read and the open; key by what the open saw.
+                    key = (name, backend.generation)
+                    entry = self.pins.install(key, backend)
+                backend, db, _ = entry
+                return Snapshot(
+                    name=name,
+                    path=path,
+                    generation=backend.generation,
+                    last_version=backend.last_version,
+                    backend=backend,
+                    db=db,
+                    release=lambda: self.pins.release(key, entry),
+                    cached=cached,
+                )
         backend = open_archive(path, workers=1, recover=False)
         return Snapshot(
             name=name,
@@ -237,6 +409,9 @@ class ArchiveService:
                 finally:
                     snapshot.close()
             except IntegrityError:
+                # A cached pin whose byte view went stale must not be
+                # handed to the retry (or any other reader) again.
+                self.pins.evict(name)
                 # Let an in-flight publish finish renaming before the
                 # next pin re-reads manifest + checksums + payloads.
                 time.sleep(0.005 * (attempt + 1))

@@ -71,6 +71,7 @@ from .events import (
     events_to_archive_node,
     read_events,
 )
+from .cache import chunk_cache
 from .codec import CodecLike, get_codec, sniff_codec
 from .extmerge import merge_archive_stream
 from .extsort import sort_version
@@ -115,6 +116,7 @@ class ExternalArchiver(StorageBackend):
         verify: str = "always",
         workers: int = 1,
         recover: bool = True,
+        cache_reads: bool = False,
     ) -> None:
         """``memory_budget`` is the node budget of one sorted run — the
         paper's ``M``; ``fan_in`` models ``(M/B) - 1`` merge arity.
@@ -165,6 +167,13 @@ class ExternalArchiver(StorageBackend):
         except ManifestInconsistent:
             manifest = None  # fsck's problem, not open's
         self.generation = manifest.generation if manifest is not None else 0
+        #: Read-only handles cache the materialized stream (the
+        #: :meth:`to_archive` product ``diff`` and fallback queries pay
+        #: for) in the process-wide decoded-chunk cache, keyed by the
+        #: stream's sidecar checksum; writers never do.
+        self.cache_reads = cache_reads
+        self.cache_hits = 0
+        self.cache_misses = 0
         if not os.path.exists(self.archive_path):
             if self.verify != "never" and (
                 self._checksums.covers(STREAM_NAME)
@@ -324,6 +333,8 @@ class ExternalArchiver(StorageBackend):
         self._checksums = pending
         self.generation += 1
         self._verified.discard(STREAM_NAME)
+        if self.cache_reads:
+            chunk_cache().invalidate(os.path.abspath(self.directory))
 
     def _stage_empty_version(self, number: int, out_path: str) -> None:
         self._verify_stream()
@@ -543,14 +554,47 @@ class ExternalArchiver(StorageBackend):
             raw_bytes=pass_stats.bytes_read,
             disk_bytes=self.archive_bytes(),
             generation=self.generation,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_evictions=chunk_cache().evictions,
         )
+
+    def _cache_token(self):
+        """Staleness token for the materialized stream (``None``: skip).
+
+        The stream's sidecar sha256 when recorded — every publish
+        rewrites it, and :meth:`_verify_stream` checks the bytes
+        against this very sidecar state before materialization — with
+        the manifest generation as the coarser fallback."""
+        entry = self._checksums.entries.get(STREAM_NAME)
+        if entry is not None and entry.get("sha256"):
+            return entry["sha256"]
+        if self.generation > 0:
+            return ("gen", self.generation)
+        return None
 
     def to_archive(self, options: Optional[ArchiveOptions] = None) -> Archive:
         """Materialize the stream into an in-memory :class:`Archive`.
 
         Used by ``diff`` and the equivalence tests; defeats the
-        bounded-memory purpose otherwise.
+        bounded-memory purpose otherwise — which is exactly why
+        read-caching handles keep the materialized product in the
+        decoded-chunk cache instead of paying the full stream pass per
+        request (non-default ``options`` always materialize fresh: the
+        options shape the product).
         """
+        key = None
+        cache = None
+        if self.cache_reads and options is None:
+            token = self._cache_token()
+            cache = chunk_cache()
+            if token is not None and cache.enabled:
+                key = (os.path.abspath(self.directory), STREAM_NAME, token)
+                cached = cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    return cached
+                self.cache_misses += 1
         archive = Archive(self.spec, options)
         self._verify_stream()
         events = PeekableEvents(
@@ -563,6 +607,8 @@ class ExternalArchiver(StorageBackend):
         )
         while not isinstance(events.peek(), ExitEvent):
             archive.root.children.append(events_to_archive_node(events))
+        if key is not None:
+            cache.put(key, archive, self.archive_bytes())
         return archive
 
     def archive_bytes(self) -> int:
@@ -631,6 +677,8 @@ class ExternalArchiver(StorageBackend):
         self._checksums = pending
         self.generation += 1
         self._verified.discard(STREAM_NAME)
+        if self.cache_reads:
+            chunk_cache().invalidate(os.path.abspath(self.directory))
         return RecodeReport(
             path=self.directory,
             kind=self.kind,

@@ -42,6 +42,7 @@ from ..core.tstree import ProbeCount
 from ..core.versionset import VersionSet
 from ..keys.spec import KeySpec
 from ..xmltree.model import Element
+from .cache import chunk_cache
 from .codec import Codec, CodecLike, get_codec, sniff_codec
 from .integrity import (
     ManifestInconsistent,
@@ -328,6 +329,14 @@ class StorageBackend(abc.ABC):
 
         return ArchiveDB(self)
 
+    def drop_caches(self) -> None:
+        """Drop decoded in-memory state held by this handle.
+
+        The next read reloads from disk (or hits the process-wide
+        decoded-chunk cache, whose size the LRU budget bounds).  The
+        server calls this when it evicts a pinned snapshot so long-lived
+        reader handles never pin decoded trees of their own."""
+
     def close(self) -> None:
         """Release resources; the archive stays durable on disk."""
 
@@ -393,6 +402,7 @@ class FileBackend(StorageBackend):
         verify: str = "always",
         workers: int = 1,
         recover: bool = True,
+        cache_reads: bool = False,
     ) -> None:
         self.path = os.path.abspath(os.fspath(path))
         #: Accepted for interface uniformity with the chunked backend;
@@ -421,9 +431,16 @@ class FileBackend(StorageBackend):
         self.generation = manifest.generation if manifest is not None else 0
         self._verified = False
         self._archive: Optional[Archive] = None
+        #: Read-only handles share the decoded archive through the
+        #: process-wide decoded-chunk cache; write paths always work on
+        #: a privately-owned instance (see ``_ensure_private_archive``).
+        self.cache_reads = cache_reads
+        self._archive_shared = False
+        self.cache_hits = 0
+        self.cache_misses = 0
 
-    def _read_text(self) -> Optional[str]:
-        """The decoded archive XML, or ``None`` when nothing is stored.
+    def _read_payload(self) -> Optional[bytes]:
+        """The verified at-rest bytes, or ``None`` when nothing is stored.
 
         The payload is verified against the manifest's recorded
         checksum under the backend's ``verify`` policy before the codec
@@ -438,20 +455,83 @@ class FileBackend(StorageBackend):
         if self.verify != "never" and not (self.verify == "open" and self._verified):
             verify_bytes(os.path.basename(self.path), data, self._payload_checksum)
             self._verified = True
+        return data
+
+    def _read_text(self) -> Optional[str]:
+        """The decoded archive XML (``None`` when nothing is stored)."""
+        data = self._read_payload()
+        if data is None:
+            return None
         return self.codec.decode_document(data)
+
+    def _cache_token(self):
+        """Staleness token for the payload's cache key (``None``: skip).
+
+        The manifest-recorded sha256 when present (precise: every
+        publish rewrites it), the generation otherwise (coarser), no
+        caching for bare pre-manifest files."""
+        if self._payload_checksum and self._payload_checksum.get("sha256"):
+            return self._payload_checksum["sha256"]
+        if self.generation > 0:
+            return ("gen", self.generation)
+        return None
 
     @property
     def archive(self) -> Archive:
-        """The in-memory archive, loaded from disk on first use."""
+        """The in-memory archive, loaded from disk on first use.
+
+        Read-caching handles may hand back an instance shared with
+        other handles through the decoded-chunk cache — fine for every
+        read (retrieval copy-on-writes content out), never for
+        mutation, which goes through :meth:`_ensure_private_archive`.
+        """
         if self._archive is None:
-            text = self._read_text()
-            if text is None:
+            data = self._read_payload()
+            if data is None:
                 self._archive = Archive(self.spec, self.options)
-            else:
-                self._archive = Archive.from_xml_string(
-                    text, self.spec, self.options
-                )
+                return self._archive
+            key = None
+            cache = None
+            if self.cache_reads:
+                token = self._cache_token()
+                cache = chunk_cache()
+                if token is not None and cache.enabled:
+                    key = (self.path, 0, token)
+                    cached = cache.get(key)
+                    if cached is not None:
+                        self.cache_hits += 1
+                        self._archive = cached
+                        self._archive_shared = True
+                        return cached
+                    self.cache_misses += 1
+            self._archive = self.codec.decode_archive(
+                data, self.spec, self.options
+            )
+            if key is not None:
+                cache.put(key, self._archive, len(data))
+                self._archive_shared = True  # shared with the cache now
         return self._archive
+
+    def _ensure_private_archive(self) -> Archive:
+        """A privately-owned archive instance, for mutation.
+
+        Writers mutate the decoded archive in place, which must never
+        touch an instance other readers share through the cache — so a
+        shared (or not-yet-loaded) archive is decoded fresh, bypassing
+        the cache entirely."""
+        if self._archive is None or self._archive_shared:
+            data = self._read_payload()
+            self._archive = (
+                self.codec.decode_archive(data, self.spec, self.options)
+                if data is not None
+                else Archive(self.spec, self.options)
+            )
+            self._archive_shared = False
+        return self._archive
+
+    def drop_caches(self) -> None:
+        self._archive = None
+        self._archive_shared = False
 
     def _manifest_extra(self) -> dict:
         if self._payload_checksum is not None:
@@ -459,8 +539,8 @@ class FileBackend(StorageBackend):
         return {}
 
     def persist(self) -> None:
-        """Publish the archive XML and manifest in one atomic commit."""
-        encoded = self.codec.encode_document(self.archive.to_xml_string())
+        """Publish the encoded archive and manifest in one atomic commit."""
+        encoded = self.codec.encode_archive(self.archive)
         previous = self._payload_checksum
         previous_generation = self.generation
         # Record the checksum and the next generation before building
@@ -483,13 +563,18 @@ class FileBackend(StorageBackend):
             self._payload_checksum = previous
             self.generation = previous_generation
             raise
+        if self.cache_reads:
+            # Stale-token entries would only age out of the LRU; a
+            # read-caching handle that writes drops them eagerly so the
+            # budget isn't spent on unreachable generations.
+            chunk_cache().invalidate(self.path)
 
     @property
     def last_version(self) -> int:
         return self.archive.last_version
 
     def add_version(self, document: Optional[Element]) -> MergeStats:
-        stats = self.archive.add_version(document)
+        stats = self._ensure_private_archive().add_version(document)
         self.persist()
         return stats
 
@@ -497,7 +582,7 @@ class FileBackend(StorageBackend):
         self, documents: Iterable[Optional[Element]], on_version: OnVersion = None
     ) -> MergeStats:
         """Batch under a shared fingerprint memo; one publish at the end."""
-        session = IngestSession(self.archive)
+        session = IngestSession(self._ensure_private_archive())
         for document in documents:
             stats = session.add(document)
             if on_version is not None:
@@ -528,6 +613,9 @@ class FileBackend(StorageBackend):
         except OSError:
             stats.disk_bytes = stats.raw_bytes  # never persisted yet
         stats.generation = self.generation
+        stats.cache_hits = self.cache_hits
+        stats.cache_misses = self.cache_misses
+        stats.cache_evictions = chunk_cache().evictions
         return stats
 
     def recode(self, codec: CodecLike) -> RecodeReport:
@@ -538,7 +626,7 @@ class FileBackend(StorageBackend):
         # manifest staged below reads ``last_version`` off this archive.
         text = self.archive.to_xml_string()
         before = os.path.getsize(self.path) if os.path.exists(self.path) else 0
-        encoded = target.encode_document(text)
+        encoded = target.encode_archive(self.archive)
         verify_recoded_document(text, encoded, target)
         previous_checksum = self._payload_checksum
         previous_generation = self.generation
@@ -562,6 +650,8 @@ class FileBackend(StorageBackend):
         # Only a published commit moves the in-memory codec: a failure
         # anywhere above leaves this backend reading the old encoding.
         self.codec = target
+        if self.cache_reads:
+            chunk_cache().invalidate(self.path)
         # The in-memory archive (if loaded) is unchanged; only the
         # at-rest encoding moved.
         return RecodeReport(
@@ -661,6 +751,7 @@ def open_archive(
     on_corrupt: str = "raise",
     workers: int = 1,
     recover: bool = True,
+    cache_reads: Optional[bool] = None,
 ) -> StorageBackend:
     """Open an existing archive, auto-detecting its backend and codec.
 
@@ -683,6 +774,10 @@ def open_archive(
     read-only snapshot opens that run concurrently with a live writer,
     where replaying (or rolling back) the writer's in-flight staged
     commit from a reader thread would corrupt the publication protocol.
+    ``cache_reads`` opts the handle into the process-wide decoded-chunk
+    cache (:mod:`repro.storage.cache`); the default follows ``recover``
+    — snapshot opens (``recover=False``) are read handles and share
+    decoded chunks, recovery-running opens are write-capable and don't.
     """
     from .archiver import ExternalArchiver  # local: avoids an import cycle
     from .chunked import ChunkedArchiver
@@ -722,6 +817,8 @@ def open_archive(
         if manifest is not None
         else _sniff_backend_codec(path, kind)
     )
+    if cache_reads is None:
+        cache_reads = not recover
     if kind == "file":
         return FileBackend(
             path,
@@ -731,6 +828,7 @@ def open_archive(
             verify=verify,
             workers=workers,
             recover=recover,
+            cache_reads=cache_reads,
         )
     if kind == "chunked":
         if manifest is not None and "chunk_count" in manifest.extra:
@@ -747,6 +845,7 @@ def open_archive(
             on_corrupt=on_corrupt,
             workers=workers,
             recover=recover,
+            cache_reads=cache_reads,
         )
     if kind == "external":
         if options is not None and options.compaction:
@@ -760,6 +859,7 @@ def open_archive(
             verify=verify,
             workers=workers,
             recover=recover,
+            cache_reads=cache_reads,
         )
     raise ArchiveError(f"Unknown backend kind {kind!r} in {path!r} manifest")
 

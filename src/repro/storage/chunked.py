@@ -37,6 +37,7 @@ from .backend import (
     StorageBackend,
     read_manifest,
 )
+from .cache import chunk_cache
 from .codec import CodecError, CodecLike, get_codec, sniff_codec
 from .integrity import (
     CHECKSUMS_NAME,
@@ -174,6 +175,7 @@ class ChunkedArchiver(StorageBackend):
         on_corrupt: str = "raise",
         workers: int = 1,
         recover: bool = True,
+        cache_reads: bool = False,
     ) -> None:
         if chunk_count < 1:
             raise ChunkedArchiverError("Need at least one chunk")
@@ -198,6 +200,16 @@ class ChunkedArchiver(StorageBackend):
         self.chunks_pruned = 0
         #: Chunks retrieval skipped as corrupt under ``on_corrupt="skip"``.
         self.chunks_skipped_corrupt = 0
+        #: Read-only handles (``open_archive(..., recover=False)``) share
+        #: decoded chunks through the process-wide
+        #: :func:`~repro.storage.cache.chunk_cache`; write-capable
+        #: handles never do — a writer mutates its decoded archive in
+        #: place, which must not leak into other readers' views.
+        self.cache_reads = cache_reads
+        #: Decoded-chunk cache traffic through *this handle* (cumulative;
+        #: query execution reads these as before/after deltas).
+        self.cache_hits = 0
+        self.cache_misses = 0
         #: Chunk-loop parallelism: batch ingest, recode and chunk query
         #: fan-out run their per-chunk work through this pool.  The
         #: default of one worker is the deterministic serial path.
@@ -310,16 +322,61 @@ class ChunkedArchiver(StorageBackend):
             return None
         return self.codec.decode_document(data)
 
-    def _load_chunk(self, index: int) -> Archive:
-        text = self._read_chunk_text(index)
-        if text is None:
+    def _cache_token(self, index: int):
+        """Staleness token for a chunk's cache key (``None``: don't cache).
+
+        The sidecar's recorded sha256 is the precise token — a commit
+        that republishes the chunk rewrites its checksum, and
+        :meth:`read_part_payload` verifies the bytes against this very
+        sidecar state before any decode, so a hit can never shadow bytes
+        this handle would not itself have decoded.  Sidecar-less layouts
+        fall back to the manifest generation (coarser: any commit
+        invalidates the whole archive's entries); with neither, the
+        chunk is simply not cached.
+        """
+        entry = self._checksums.entries.get(
+            os.path.basename(self._chunk_path(index))
+        )
+        if entry is not None and entry.get("sha256"):
+            return entry["sha256"]
+        if self.generation > 0:
+            return ("gen", self.generation)
+        return None
+
+    def _invalidate_cached_chunks(self) -> None:
+        """Drop this archive's cache entries after a publish.
+
+        Stale-token entries would only age out of the LRU; a
+        read-caching handle that writes drops them eagerly so the
+        budget isn't spent on unreachable generations."""
+        if self.cache_reads:
+            chunk_cache().invalidate(os.path.abspath(self.directory))
+
+    def _load_chunk(self, index: int, for_write: bool = False) -> Archive:
+        data = self.read_part_payload(index)
+        if data is None:
             archive = Archive(self.spec, self.options)
             # Bring the fresh chunk up to the current version count so
             # chunk timestamps stay globally aligned.
             for _ in range(self._version_count):
                 archive.add_version(None)
             return archive
-        return Archive.from_xml_string(text, self.spec, self.options)
+        key = None
+        cache = None
+        if self.cache_reads and not for_write:
+            token = self._cache_token(index)
+            cache = chunk_cache()
+            if token is not None and cache.enabled:
+                key = (os.path.abspath(self.directory), index, token)
+                cached = cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    return cached
+                self.cache_misses += 1
+        archive = self.codec.decode_archive(data, self.spec, self.options)
+        if key is not None:
+            cache.put(key, archive, len(data))
+        return archive
 
     def _stage(
         self,
@@ -352,7 +409,7 @@ class ChunkedArchiver(StorageBackend):
             commit,
             pending,
             self._chunk_path(index),
-            self.codec.encode_document(archive.to_xml_string()),
+            self.codec.encode_archive(archive),
         )
 
     def _stage_meta(
@@ -485,7 +542,7 @@ class ChunkedArchiver(StorageBackend):
                 part = parts.get(index)
                 if part is None and not chunk_exists:
                     continue  # nothing stored, nothing new: stay lazy
-                archive = self._load_chunk(index)
+                archive = self._load_chunk(index, for_write=True)
                 total.accumulate(archive.add_version(part))
                 self._stage_chunk(commit, pending, index, archive)
             self._stage_meta(commit, pending, self._version_count + 1)
@@ -496,6 +553,7 @@ class ChunkedArchiver(StorageBackend):
         # Only a published commit moves the in-memory sidecar.
         self._checksums = pending
         self.generation += 1
+        self._invalidate_cached_chunks()
         total.versions = 1
         self._version_count += 1
         return total
@@ -586,6 +644,7 @@ class ChunkedArchiver(StorageBackend):
         )
         self._checksums = pending
         self.generation += 1
+        self._invalidate_cached_chunks()
         total.versions = len(partitions)
         self._version_count += len(partitions)
         for index, encoded in landed:
@@ -595,9 +654,7 @@ class ChunkedArchiver(StorageBackend):
             assert on_chunk is not None
             on_chunk(
                 index,
-                Archive.from_xml_string(
-                    self.codec.decode_document(encoded), self.spec, self.options
-                ),
+                self.codec.decode_archive(encoded, self.spec, self.options),
             )
         return total
 
@@ -782,6 +839,7 @@ class ChunkedArchiver(StorageBackend):
                     nodes -= 1  # the shell itself is shared, not repeated
                 else:
                     seen_shells.add(token)
+        cache = chunk_cache()
         return ArchiveStats(
             versions=self._version_count,
             nodes=nodes,
@@ -790,6 +848,9 @@ class ChunkedArchiver(StorageBackend):
             raw_bytes=raw_bytes,
             disk_bytes=self.total_bytes(),
             generation=self.generation,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_evictions=cache.evictions,
         )
 
     def total_bytes(self) -> int:
@@ -825,7 +886,9 @@ class ChunkedArchiver(StorageBackend):
             payload = self.read_part_payload(index)
             if payload is None:
                 continue
-            tasks.append((index, payload, old.name, target.name))
+            tasks.append(
+                (index, payload, old.name, target.name, self.spec, self.options)
+            )
         recoded = self.pool.map(_recode_chunk_task, tasks)
         pending = self._checksums.copy()
         commit = self._wal.begin()
@@ -847,6 +910,7 @@ class ChunkedArchiver(StorageBackend):
         self.codec = target
         self._checksums = pending
         self.generation += 1
+        self._invalidate_cached_chunks()
         return RecodeReport(
             path=self.directory,
             kind=self.kind,

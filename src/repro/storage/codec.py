@@ -10,7 +10,7 @@ chunk files (:class:`~repro.storage.chunked.ChunkedArchiver`) and the
 external event stream (:class:`~repro.storage.archiver.ExternalArchiver`)
 can all be kept compressed on disk and reopened transparently.
 
-Three codecs ship:
+Four codecs ship:
 
 ``raw``
     Identity UTF-8 — the pre-codec format, still the default.
@@ -25,6 +25,19 @@ Three codecs ship:
     per-path value grouping, the compressor the paper credits for the
     archive's win.  Non-document text (the external event stream)
     takes the framed-gzip path: XMill is a *document* compressor.
+``xbin``
+    The parse-free binary archive-node container of
+    :mod:`repro.storage.xbin`: length-prefixed node records with
+    interned names and interval-list timestamps, so the hot read path
+    (:meth:`Codec.decode_archive`) rebuilds the archive tree by direct
+    record decoding instead of an XML parse.  Like ``xmill``, its
+    *text* payloads take the framed-gzip stream path.
+
+Backends read and write whole archives through the **archive seam** —
+:meth:`Codec.encode_archive` / :meth:`Codec.decode_archive`.  For the
+text codecs these default to serializing/parsing Fig. 5 XML (exactly
+the pre-seam behaviour, byte for byte); ``xbin`` overrides them with
+the record codec, which is where the repeat-read win comes from.
 
 Payloads that must stay greppable/plain stay plain regardless of codec:
 ``manifest.json``, key-spec sidecars, ``versions.txt``, ``.presence``
@@ -54,6 +67,7 @@ import zlib
 from typing import IO, Iterator, Union
 
 from ..compress import gzipper, xmill
+from . import xbin
 
 #: Logical bytes between full DEFLATE flushes in streamed gzip writes —
 #: each frame is independently decodable, so a reader never has to
@@ -135,6 +149,30 @@ class Codec(abc.ABC):
     @abc.abstractmethod
     def decode_document(self, data: bytes) -> str:
         """Decode bytes written by :meth:`encode_document`."""
+
+    # -- whole archives (the backend read/write seam) ----------------------
+
+    def encode_archive(self, archive) -> bytes:
+        """Encode one in-memory :class:`~repro.core.archive.Archive`.
+
+        The default serializes the Fig. 5 XML and encodes that — byte
+        for byte what backends wrote before the archive seam existed.
+        Binary codecs override this to skip the text entirely.
+        """
+        return self.encode_document(archive.to_xml_string())
+
+    def decode_archive(self, data: bytes, spec, options=None):
+        """Decode bytes written by :meth:`encode_archive` into an
+        :class:`~repro.core.archive.Archive` under ``spec``/``options``.
+
+        The default parses the decoded document text; binary codecs
+        override it with direct record decoding (no parse).
+        """
+        from ..core.archive import Archive  # local: archive sits above codecs
+
+        return Archive.from_xml_string(
+            self.decode_document(data), spec, options
+        )
 
     # -- opaque text payloads ---------------------------------------------
 
@@ -289,12 +327,62 @@ class XMillCodec(Codec):
         return _gzip_open_read(path)
 
 
+class XbinCodec(Codec):
+    """The parse-free binary archive-node container (:mod:`.xbin`).
+
+    ``encode_archive``/``decode_archive`` move whole node trees as
+    length-prefixed records — no XML text on either side — which is the
+    seam every backend's chunk reads and writes cross.  The *document*
+    methods stay fully interoperable: ``decode_document`` re-emits the
+    Fig. 5 XML (byte-identical to what the text codecs store, so fsck's
+    deep scrub and recode verification treat xbin payloads like any
+    other), and ``encode_document`` wraps bare text in a text-mode
+    container for callers that hold no key spec to build records from.
+
+    Like XMill, xbin is a *document* container; its text payloads (the
+    external event stream) take the shared framed-gzip path.
+    """
+
+    name = "xbin"
+    magic = xbin.XBIN_MAGIC
+
+    def encode_archive(self, archive) -> bytes:
+        return xbin.encode_archive(archive)
+
+    def decode_archive(self, data: bytes, spec, options=None):
+        return xbin.decode_archive(data, spec, options)
+
+    def encode_document(self, text: str) -> bytes:
+        return xbin.encode_text_blob(text)
+
+    def decode_document(self, data: bytes) -> str:
+        return xbin.decode_document_text(data)
+
+    def encode_text(self, text: str) -> bytes:
+        return gzipper.gzip_compress(text.encode("utf-8"))
+
+    def decode_text(self, data: bytes) -> str:
+        try:
+            return gzipper.gzip_decompress(data).decode("utf-8")
+        except (OSError, EOFError, UnicodeDecodeError, zlib.error) as error:
+            raise CodecError(f"Corrupt gzip payload: {error}")
+
+    def open_text_write(self, path: str) -> _LayeredTextIO:
+        return _gzip_open_write(path)
+
+    def open_text_read(self, path: str) -> _LayeredTextIO:
+        return _gzip_open_read(path)
+
+
 RAW = RawCodec()
 GZIP = GzipCodec()
 XMILL = XMillCodec()
+XBIN = XbinCodec()
 
 #: Registry backing manifests, ``--codec`` flags and magic sniffing.
-CODECS: dict[str, Codec] = {codec.name: codec for codec in (RAW, GZIP, XMILL)}
+CODECS: dict[str, Codec] = {
+    codec.name: codec for codec in (RAW, GZIP, XMILL, XBIN)
+}
 CODEC_NAMES = tuple(CODECS)
 
 CodecLike = Union[str, Codec, None]
@@ -318,11 +406,11 @@ def detect_codec(prefix: bytes) -> Codec:
     """The codec whose magic opens ``prefix`` (raw when none matches).
 
     Used for manifest-less legacy layouts.  A gzip-framed *stream*
-    written by the ``xmill`` codec sniffs as ``gzip`` — harmless, since
-    both codecs share the framed-gzip text path; documents carry the
-    unambiguous XMill magic.
+    written by the ``xmill`` or ``xbin`` codec sniffs as ``gzip`` —
+    harmless, since all three share the framed-gzip text path;
+    documents carry the unambiguous XMill/xbin magic.
     """
-    for codec in (XMILL, GZIP):
+    for codec in (XBIN, XMILL, GZIP):
         if codec.magic and prefix.startswith(codec.magic):
             return codec
     return RAW

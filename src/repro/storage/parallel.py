@@ -219,36 +219,40 @@ def _ingest_chunk_task(task: tuple) -> tuple:
         for _ in range(version_count):
             archive.add_version(None)
     else:
-        archive = Archive.from_xml_string(
-            codec.decode_document(payload), spec, options
-        )
+        archive = codec.decode_archive(payload, spec, options)
     session = IngestSession(archive)
     for part in slices:
         # Versions without records for this chunk are empty versions
         # locally, keeping timestamps globally aligned.
         session.add(part)
     presence = _chunk_presence_of(archive).to_text()
-    encoded = codec.encode_document(archive.to_xml_string())
+    encoded = codec.encode_archive(archive)
     return (index, encoded, presence, session.stats)
 
 
 def _recode_chunk_task(task: tuple) -> tuple:
     """Decode one chunk under its old codec, re-encode, verify identity.
 
-    Task: ``(index, payload, source_codec_name, target_codec_name)``.
-    Returns ``(index, encoded_bytes)``; raises
+    Task: ``(index, payload, source_codec_name, target_codec_name,
+    spec, options)``.  Returns ``(index, encoded_bytes)``; raises
     :class:`~repro.storage.codec.CodecError` (re-raised as
     :class:`WorkerError` across processes) when the round-trip is not
     the identity.
     """
-    index, payload, source_name, target_name = task
+    index, payload, source_name, target_name, spec, options = task
     from .backend import verify_recoded_document
     from .codec import get_codec
 
     _check_fault("recode")
-    text = get_codec(source_name).decode_document(payload)
+    source = get_codec(source_name)
     target = get_codec(target_name)
-    encoded = target.encode_document(text)
+    # Decode once through the archive seam, re-encode through it, then
+    # verify the staged payload re-emits the same Fig. 5 document the
+    # source encoding held — codecs that store binary records (xbin)
+    # take part in the identity check via their document re-emission.
+    archive = source.decode_archive(payload, spec, options)
+    text = archive.to_xml_string()
+    encoded = target.encode_archive(archive)
     verify_recoded_document(text, encoded, target)
     return (index, encoded)
 
@@ -264,16 +268,13 @@ def _query_chunk_task(task: tuple) -> tuple:
     :class:`~repro.query.result.QueryStats` for the parent to merge.
     """
     index, payload, codec_name, spec, options, plan, version = task
-    from ..core.archive import Archive
     from ..query.exec import MemoryCursor, run_plan
     from ..query.result import QueryStats
     from .codec import get_codec
 
     _check_fault("query")
     codec = get_codec(codec_name)
-    archive = Archive.from_xml_string(
-        codec.decode_document(payload), spec, options
-    )
+    archive = codec.decode_archive(payload, spec, options)
     stats = QueryStats()
     items = []
     root_timestamp = archive.root.timestamp

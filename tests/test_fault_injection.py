@@ -38,9 +38,9 @@ from repro.storage import faults
 from repro.xmltree import to_pretty_string
 
 BACKENDS = ["file", "chunked", "external"]
-CODECS = ["raw", "gzip", "xmill"]
+CODECS = ["raw", "gzip", "xmill", "xbin"]
 #: Recode target per source codec (each pair exercised per backend).
-RECODE_TARGET = {"raw": "gzip", "gzip": "xmill", "xmill": "raw"}
+RECODE_TARGET = {"raw": "gzip", "gzip": "xmill", "xmill": "xbin", "xbin": "raw"}
 
 
 @pytest.fixture(scope="module")

@@ -25,7 +25,8 @@ from repro.storage import (
     open_archive,
     sniff_codec,
 )
-from repro.storage.codec import CODECS, GZIP, RAW, STREAM_FLUSH_BYTES, XMILL
+from repro.storage.codec import CODECS, GZIP, RAW, STREAM_FLUSH_BYTES, XBIN, XMILL
+from repro.storage.xbin import XBIN_MAGIC
 from repro.xmltree import parse_document, to_pretty_string, value_equal
 
 DOCUMENT = (
@@ -36,7 +37,7 @@ DOCUMENT = (
 
 class TestCodecRegistry:
     def test_names(self):
-        assert set(CODECS) == {"raw", "gzip", "xmill"}
+        assert set(CODECS) == {"raw", "gzip", "xmill", "xbin"}
 
     def test_get_codec_accepts_name_instance_and_none(self):
         assert get_codec("gzip") is GZIP
@@ -51,18 +52,19 @@ class TestCodecRegistry:
         assert detect_codec(b"<T t=") is RAW
         assert detect_codec(b"\x1f\x8b\x08") is GZIP
         assert detect_codec(XMILL_MAGIC + b"rest") is XMILL
+        assert detect_codec(XBIN_MAGIC + b"rest") is XBIN
 
     def test_sniff_codec_missing_file_is_raw(self, tmp_path):
         assert sniff_codec(str(tmp_path / "nowhere")) is RAW
 
 
 class TestDocumentRoundTrips:
-    @pytest.mark.parametrize("name", ["raw", "gzip", "xmill"])
+    @pytest.mark.parametrize("name", ["raw", "gzip", "xmill", "xbin"])
     def test_normal_form_text_round_trips_byte_identical(self, name):
         codec = get_codec(name)
         assert codec.decode_document(codec.encode_document(DOCUMENT)) == DOCUMENT
 
-    @pytest.mark.parametrize("name", ["gzip", "xmill"])
+    @pytest.mark.parametrize("name", ["gzip", "xmill", "xbin"])
     def test_encoded_form_carries_magic(self, name):
         codec = get_codec(name)
         assert codec.encode_document(DOCUMENT).startswith(codec.magic)
@@ -90,7 +92,7 @@ class TestDocumentRoundTrips:
 
 
 class TestStreamedText:
-    @pytest.mark.parametrize("name", ["raw", "gzip", "xmill"])
+    @pytest.mark.parametrize("name", ["raw", "gzip", "xmill", "xbin"])
     def test_lines_round_trip(self, tmp_path, name):
         codec = get_codec(name)
         path = str(tmp_path / "stream.jsonl")
